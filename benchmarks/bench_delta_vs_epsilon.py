@@ -1,0 +1,13 @@
+"""Benchmark E3 — additive loss versus epsilon (Delta = O(log(n)/epsilon))."""
+
+from repro.experiments.delta_vs_epsilon import run_delta_vs_epsilon
+
+
+def test_delta_versus_epsilon(benchmark, report):
+    rows = report(benchmark, "Additive loss vs epsilon", run_delta_vs_epsilon,
+                  epsilons=(0.5, 1.0, 2.0, 4.0), n=2000, dimension=2, rng=0)
+    assert len(rows) == 8
+    gammas = {row["epsilon"]: row["gamma"] for row in rows
+              if row["radius_method"] == "recconcave"}
+    # The theoretical loss scale must shrink as epsilon grows.
+    assert gammas[4.0] < gammas[0.5]

@@ -1,0 +1,10 @@
+"""Benchmark E4 — dimension sweep: this work versus private aggregation."""
+
+from repro.experiments.dimension_scaling import run_dimension_scaling
+
+
+def test_dimension_scaling(benchmark, report):
+    rows = report(benchmark, "Dimension sweep", run_dimension_scaling,
+                  dimensions=(2, 4, 8, 16), n=2000, epsilon=2.0, rng=0)
+    assert len(rows) == 8
+    assert {row["method"] for row in rows} == {"this_work", "private_aggregation"}

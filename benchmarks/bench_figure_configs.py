@@ -1,0 +1,11 @@
+"""Benchmark F1/F2 — the configurations of Figures 1 and 2."""
+
+from repro.experiments.figures import run_figure_configs
+
+
+def test_figure_configurations(benchmark, report):
+    rows = report(benchmark, "Figure 1 / Figure 2 configurations",
+                  run_figure_configs, epsilon=2.0, rng=0)
+    f2 = next(row for row in rows if row["figure"] == "F2")
+    assert f2["extended_interval_capture"] == f2["cluster_size"]
+    assert f2["heavy_interval_capture"] < f2["cluster_size"]

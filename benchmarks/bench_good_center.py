@@ -1,0 +1,11 @@
+"""Benchmark E10 — GoodCenter in isolation (Lemma 3.7)."""
+
+from repro.experiments.good_center import run_good_center
+
+
+def test_good_center_error_decay(benchmark, report):
+    rows = report(benchmark, "GoodCenter centre recovery", run_good_center,
+                  cluster_sizes=(400, 800, 1600), dimension=4, epsilon=1.0,
+                  rng=0)
+    assert len(rows) == 3
+    assert any(row["found"] for row in rows)

@@ -1,0 +1,13 @@
+"""Benchmark E9 — GoodRadius in isolation (Lemma 3.6)."""
+
+from repro.experiments.good_radius import run_good_radius
+
+
+def test_good_radius_guarantees(benchmark, report):
+    rows = report(benchmark, "GoodRadius guarantees", run_good_radius,
+                  cluster_radii=(0.02, 0.05, 0.1), n=2000, dimension=4,
+                  epsilon=1.0, rng=0)
+    assert len(rows) == 3
+    # Lemma 3.6: released radius <= 4 r_opt; the lower-bound column certifies
+    # r_opt >= 2approx/2, so the ratio against that bound must be <= 8.
+    assert all(row["ratio_vs_lower_bound"] <= 8.0 + 1e-9 for row in rows)

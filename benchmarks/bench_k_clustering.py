@@ -1,0 +1,10 @@
+"""Benchmark E5 — the k-clustering heuristic (Observation 3.5)."""
+
+from repro.experiments.k_clustering import run_k_clustering
+
+
+def test_k_clustering_coverage(benchmark, report):
+    rows = report(benchmark, "k-clustering heuristic", run_k_clustering,
+                  k_values=(2, 3, 4), n=3000, epsilon=4.0, rng=0)
+    assert len(rows) == 3
+    assert all(0.0 <= row["covered_fraction"] <= 1.0 for row in rows)

@@ -1,0 +1,12 @@
+"""Benchmark E7 — the IntPoint reduction across domain sizes (Section 5)."""
+
+from repro.experiments.lower_bound import run_lower_bound
+
+
+def test_interior_point_reduction(benchmark, report):
+    rows = report(benchmark, "Interior-point reduction", run_lower_bound,
+                  domain_sizes=(2 ** 8, 2 ** 16, 2 ** 32), m=600,
+                  epsilon=4.0, repetitions=3, rng=0)
+    assert len(rows) == 3
+    # The theoretical sample-complexity lower bound grows with the domain.
+    assert rows[-1]["theory_min_samples"] >= rows[0]["theory_min_samples"]

@@ -1,0 +1,10 @@
+"""Benchmark E8 — private outlier screening."""
+
+from repro.experiments.outliers import run_outliers
+
+
+def test_outlier_screening(benchmark, report):
+    rows = report(benchmark, "Outlier screening", run_outliers,
+                  contamination_levels=(0.05, 0.1, 0.2), n=2000, epsilon=2.0,
+                  rng=0)
+    assert len(rows) == 3

@@ -1,0 +1,12 @@
+"""Benchmark E2 — radius approximation factor versus n (w = O(sqrt(log n)))."""
+
+from repro.experiments.radius_scaling import run_radius_scaling
+
+
+def test_radius_scaling_with_n(benchmark, report):
+    rows = report(benchmark, "Radius factor vs n", run_radius_scaling,
+                  sizes=(500, 1000, 2000, 4000), dimension=4, epsilon=2.0,
+                  rng=0)
+    assert len(rows) == 4
+    found = [row for row in rows if row["found"]]
+    assert len(found) >= 3

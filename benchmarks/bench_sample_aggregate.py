@@ -1,0 +1,12 @@
+"""Benchmark E6 — sample & aggregate: 1-cluster vs noisy-average aggregator."""
+
+from repro.experiments.sample_aggregate import run_sample_aggregate
+
+
+def test_sample_aggregate_aggregators(benchmark, report):
+    rows = report(benchmark, "Sample & aggregate (GMM dominant mean)",
+                  run_sample_aggregate, secondary_weights=(0.0, 0.2, 0.4),
+                  rng=0)
+    assert len(rows) == 6
+    ours = [row for row in rows if row["method"] == "one_cluster_aggregator"]
+    assert any(row["found"] for row in ours)

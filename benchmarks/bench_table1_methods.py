@@ -1,0 +1,22 @@
+"""Benchmark E1 — empirical analogue of Table 1 (method comparison).
+
+Regenerates, on planted-cluster data, the two columns Table 1 compares
+(additive loss Delta and radius factor w) for every method the paper lists.
+"""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_two_dimensional(benchmark, report):
+    rows = report(benchmark, "Table 1 analogue (d=2)", run_table1,
+                  n=2000, dimension=2, epsilon=2.0, grid_side=33, rng=0)
+    ours = [row for row in rows if row["method"] == "this_work"]
+    assert ours and ours[0]["found"]
+
+
+def test_table1_one_dimensional(benchmark, report):
+    rows = report(benchmark, "Table 1 analogue (d=1, incl. threshold release)",
+                  run_table1, n=2000, dimension=1, epsilon=2.0, grid_side=65,
+                  rng=1)
+    methods = {row["method"] for row in rows}
+    assert "threshold_release" in methods

@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark runs the corresponding experiment module once per measurement
+round (the experiments are end-to-end private-algorithm runs, so a single
+round is already seconds of work) and prints the resulting table so the
+numbers recorded in EXPERIMENTS.md can be regenerated directly from the
+benchmark output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_and_report(benchmark, label, runner, **kwargs):
+    """Benchmark ``runner(**kwargs)`` once and print its table."""
+    from repro.experiments.harness import format_table
+
+    rows = benchmark.pedantic(lambda: runner(**kwargs), rounds=1, iterations=1)
+    print(f"\n=== {label} ===")
+    print(format_table(rows))
+    return rows
+
+
+@pytest.fixture
+def report():
+    """Fixture exposing :func:`run_and_report` to the benchmark modules."""
+    return run_and_report

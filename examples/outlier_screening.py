@@ -1,0 +1,74 @@
+"""Outlier screening before a private analysis (paper Section 1.1).
+
+Locating a ball that holds ~90% of the data yields a predicate separating
+inliers from outliers.  Because the ball is itself a differentially private
+release, the predicate can screen the inputs of a *subsequent* private
+analysis for free (post-processing) — and restricting that analysis to the
+ball's diameter dramatically reduces the noise it must add.  This example
+quantifies both effects on contaminated data.
+
+Run with::
+
+    python examples/outlier_screening.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PrivacyParams
+from repro.clustering import outlier_ball
+from repro.datasets import clustered_with_outliers
+from repro.mechanisms import gaussian_mechanism
+
+
+def main() -> None:
+    points, is_outlier = clustered_with_outliers(n=3000, d=2,
+                                                 outlier_fraction=0.1,
+                                                 cluster_spread=0.02,
+                                                 separation_factor=40.0, rng=0)
+    screen_params = PrivacyParams(epsilon=2.0, delta=1e-6)
+    mean_params = PrivacyParams(epsilon=0.5, delta=1e-6)
+
+    screen = outlier_ball(points, screen_params, inlier_fraction=0.88, rng=1)
+    print("=== Private outlier screening ===")
+    print(f"n = {points.shape[0]}, injected outliers = "
+          f"{int(np.count_nonzero(is_outlier))}, screening budget = "
+          f"({screen_params.epsilon}, {screen_params.delta})")
+    print()
+    if not screen.found:
+        print("Screening ball not found; increase epsilon or the inlier fraction.")
+        return
+
+    flagged = screen.outlier_mask(points)
+    true_positive = int(np.count_nonzero(flagged & is_outlier))
+    precision = true_positive / max(1, int(np.count_nonzero(flagged)))
+    recall = true_positive / int(np.count_nonzero(is_outlier))
+    print(f"Screening ball: centre {np.round(screen.ball.center, 3)}, "
+          f"radius {screen.ball.radius:.3f}")
+    print(f"Flagged {int(np.count_nonzero(flagged))} points as outliers "
+          f"(precision {precision:.0%}, recall {recall:.0%})")
+    print()
+
+    # Downstream benefit: a private mean of the screened data needs noise
+    # proportional to the *ball's* diameter rather than the data's diameter.
+    inliers = points[~flagged]
+    full_diameter = float(np.linalg.norm(points.max(axis=0) - points.min(axis=0)))
+    screened_diameter = 2.0 * screen.ball.radius
+    true_mean = points[~is_outlier].mean(axis=0)
+
+    naive = gaussian_mechanism(points.mean(axis=0),
+                               sensitivity=full_diameter / points.shape[0],
+                               params=mean_params, rng=2)
+    screened = gaussian_mechanism(inliers.mean(axis=0),
+                                  sensitivity=screened_diameter / max(1, inliers.shape[0]),
+                                  params=mean_params, rng=3)
+    print("Private mean of the data (same budget for both):")
+    print(f"  without screening : error {np.linalg.norm(naive - true_mean):.4f} "
+          f"(noise scaled to diameter {full_diameter:.2f})")
+    print(f"  with screening    : error {np.linalg.norm(screened - true_mean):.4f} "
+          f"(noise scaled to diameter {screened_diameter:.2f})")
+
+
+if __name__ == "__main__":
+    main()

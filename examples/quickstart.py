@@ -1,0 +1,59 @@
+"""Quickstart: privately locate a small cluster in synthetic data.
+
+Generates a planted-cluster dataset (a tight minority cluster inside uniform
+background noise), runs the paper's 1-cluster algorithm, and compares the
+released ball against the non-private reference and the ground truth.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import OneClusterConfig, PrivacyLedger, PrivacyParams, one_cluster
+from repro.baselines import nonprivate_one_cluster
+from repro.datasets import planted_cluster
+
+
+def main() -> None:
+    # A dataset of 3000 points in the unit square; 1000 of them form a tight
+    # cluster of radius 0.05 (a *minority* -- the regime the paper targets).
+    data = planted_cluster(n=3000, d=2, cluster_size=1000, cluster_radius=0.05,
+                           center=[0.35, 0.65], rng=0)
+    target = 800                       # how many points the ball must capture
+    params = PrivacyParams(epsilon=2.0, delta=1e-6)
+
+    ledger = PrivacyLedger()
+    result = one_cluster(data.points, target=target, params=params,
+                         config=OneClusterConfig(), rng=1, ledger=ledger)
+
+    reference = nonprivate_one_cluster(data.points, target)
+
+    print("=== Private 1-cluster (Nissim-Stemmer-Vadhan, PODS 2016) ===")
+    print(f"n = {data.n}, d = {data.dimension}, target t = {target}, "
+          f"epsilon = {params.epsilon}, delta = {params.delta}")
+    print()
+    print(f"GoodRadius released radius      : {result.radius_result.radius:.4f}")
+    print(f"Non-private 2-approx radius     : {reference.ball.radius:.4f}")
+    print(f"Planted cluster radius          : {data.true_ball.radius:.4f}")
+    print()
+    if result.found:
+        error = np.linalg.norm(result.ball.center - data.true_ball.center)
+        effective = result.effective_radius(data.points)
+        print(f"Released centre                 : {np.round(result.ball.center, 3)}")
+        print(f"Distance to true centre         : {error:.4f}")
+        print(f"Radius capturing t points       : {effective:.4f} "
+              f"({effective / reference.ball.radius:.1f}x the non-private radius)")
+        print(f"Guaranteed (conservative) bound : {result.ball.radius:.4f}")
+    else:
+        print("The solver abstained (increase epsilon or the cluster size).")
+    print()
+    print("Privacy ledger (basic composition):", ledger.total_basic())
+    print("Sub-mechanisms invoked            :", ", ".join(ledger.mechanisms()))
+
+
+if __name__ == "__main__":
+    main()

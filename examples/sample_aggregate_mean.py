@@ -1,0 +1,77 @@
+"""Sample and aggregate: turning a non-private analysis into a private one.
+
+The paper's Section 6 shows that the 1-cluster algorithm is a strong
+aggregator for the sample-and-aggregate framework: split the data into blocks,
+run any off-the-shelf analysis per block, and privately locate the small ball
+where most block outputs land.  This example privatises two analyses — the
+sample mean and the dominant centre of a 2-component Gaussian mixture — and
+compares the paper's aggregator against GUPT-style noisy averaging.
+
+Run with::
+
+    python examples/sample_aggregate_mean.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PrivacyParams
+from repro.datasets import mixture_of_gaussians
+from repro.sample_aggregate import (
+    noisy_average_aggregator,
+    private_gmm_center_estimator,
+    private_mean_estimator,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    params = PrivacyParams(epsilon=8.0, delta=1e-4)
+
+    print("=== Sample & aggregate with the 1-cluster aggregator ===")
+    print("(the aggregation budget is amplified down by sub-sampling;")
+    print(" the reported guarantee is the amplified one)\n")
+
+    # --- Application 1: private mean of a well-concentrated dataset. ------ #
+    data = rng.normal(loc=[0.4, 0.6], scale=0.05, size=(9000, 2))
+    result = private_mean_estimator(data, block_size=10, params=params,
+                                    alpha=0.8, subsample_fraction=1.0 / 3.0,
+                                    rng=1)
+    print("Private mean estimation:")
+    if result.found:
+        print(f"  estimate {np.round(result.point, 3)} vs truth [0.4, 0.6] "
+              f"(error {np.linalg.norm(result.point - [0.4, 0.6]):.4f})")
+    else:
+        print("  aggregation abstained")
+    print(f"  blocks = {result.num_blocks}, block size = {result.block_size}, "
+          f"amplified budget = ({result.amplified_params.epsilon:.3f}, "
+          f"{result.amplified_params.delta:.2e})\n")
+
+    # --- Application 2: dominant mixture component, two aggregators. ------ #
+    points, _ = mixture_of_gaussians(n=12000, d=2,
+                                     means=[[0.3, 0.3], [0.8, 0.8]],
+                                     stddev=0.04, weights=[0.65, 0.35], rng=2)
+    print("Dominant Gaussian-mixture centre (truth [0.3, 0.3]):")
+    for label, aggregator in (
+        ("1-cluster aggregator (this paper)", None),
+        ("noisy-average aggregator (GUPT-style)",
+         noisy_average_aggregator(clip_radius=1.0, center=np.array([0.5, 0.5]))),
+    ):
+        result = private_gmm_center_estimator(points, block_size=30,
+                                              params=params, alpha=0.8,
+                                              subsample_fraction=0.5,
+                                              aggregator=aggregator, rng=3)
+        if result.found:
+            error = np.linalg.norm(result.point - [0.3, 0.3])
+            print(f"  {label:40s}: estimate {np.round(result.point, 3)}, "
+                  f"error {error:.4f}")
+        else:
+            print(f"  {label:40s}: abstained")
+    print("\nThe noisy-average aggregator is pulled toward the secondary "
+          "component (its clipping ball must cover every block output), while "
+          "the 1-cluster aggregator locks onto the dominant mode.")
+
+
+if __name__ == "__main__":
+    main()

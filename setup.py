@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that editable installs work on environments whose setuptools predates full
+PEP 660 support (e.g. offline machines without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Privacy accounting: parameters, composition theorems, and a spend ledger."""
+
+from repro.accounting.params import PrivacyParams
+from repro.accounting.composition import (
+    basic_composition,
+    advanced_composition,
+    advanced_composition_epsilon,
+    split_evenly,
+    subsample_amplification,
+)
+from repro.accounting.ledger import PrivacyLedger, LedgerEntry
+
+__all__ = [
+    "PrivacyParams",
+    "basic_composition",
+    "advanced_composition",
+    "advanced_composition_epsilon",
+    "split_evenly",
+    "subsample_amplification",
+    "PrivacyLedger",
+    "LedgerEntry",
+]

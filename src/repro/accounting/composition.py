@@ -1,0 +1,126 @@
+"""Composition theorems for differential privacy.
+
+Implements the two composition rules used in the paper:
+
+* Theorem 2.1 (basic composition): ``k`` adaptive ``(eps, delta)``-DP
+  interactions are ``(k*eps, k*delta)``-DP.
+* Theorem 4.7 (advanced composition, Dwork–Rothblum–Vadhan 2010): the same
+  interactions are ``(eps', k*delta + delta')``-DP with
+  ``eps' = 2*k*eps**2 + eps*sqrt(2*k*ln(1/delta'))``.
+
+plus the sub-sampling amplification lemma (Lemma 6.4) used by the sample-and-
+aggregate framework.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.accounting.params import PrivacyParams
+
+
+def basic_composition(parts: Iterable[PrivacyParams]) -> PrivacyParams:
+    """Basic (sequential) composition, Theorem 2.1.
+
+    Parameters
+    ----------
+    parts:
+        The per-interaction budgets.
+
+    Returns
+    -------
+    PrivacyParams
+        The overall ``(sum eps_i, sum delta_i)`` guarantee.
+    """
+    parts = list(parts)
+    if not parts:
+        raise ValueError("at least one budget is required")
+    epsilon = sum(part.epsilon for part in parts)
+    delta = sum(part.delta for part in parts)
+    return PrivacyParams(epsilon, min(delta, 1 - 1e-15))
+
+
+def advanced_composition_epsilon(epsilon: float, k: int, delta_prime: float) -> float:
+    """The epsilon obtained when composing ``k`` ``epsilon``-DP steps
+    under advanced composition with slack ``delta_prime`` (Theorem 4.7)."""
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    if not (0 < delta_prime < 1):
+        raise ValueError(f"delta_prime must lie in (0,1), got {delta_prime}")
+    return 2.0 * k * epsilon ** 2 + epsilon * math.sqrt(2.0 * k * math.log(1.0 / delta_prime))
+
+
+def advanced_composition(part: PrivacyParams, k: int,
+                         delta_prime: float) -> PrivacyParams:
+    """Advanced composition of ``k`` copies of ``part`` (Theorem 4.7).
+
+    Returns the overall ``(eps', k*delta + delta')`` guarantee where
+    ``eps' = 2 k eps^2 + eps sqrt(2 k ln(1/delta'))``.
+    """
+    epsilon = advanced_composition_epsilon(part.epsilon, k, delta_prime)
+    delta = k * part.delta + delta_prime
+    return PrivacyParams(epsilon, min(delta, 1 - 1e-15))
+
+
+def per_step_epsilon_for_advanced(total_epsilon: float, k: int,
+                                  delta_prime: float) -> float:
+    """Invert advanced composition: the per-step epsilon so that ``k`` steps
+    compose to at most ``total_epsilon`` under Theorem 4.7.
+
+    GoodCenter uses this for its ``d`` per-axis interval choices (step 9c of
+    Algorithm 2): the paper runs each choice with privacy parameter
+    ``eps / (10 sqrt(d ln(8/delta)))`` which is exactly this inversion up to
+    constants.  We solve the quadratic ``2 k x^2 + x sqrt(2 k ln(1/delta'))
+    = total_epsilon`` for ``x > 0``.
+    """
+    if total_epsilon <= 0:
+        raise ValueError("total_epsilon must be positive")
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    a = 2.0 * k
+    b = math.sqrt(2.0 * k * math.log(1.0 / delta_prime))
+    c = -total_epsilon
+    discriminant = b * b - 4.0 * a * c
+    return (-b + math.sqrt(discriminant)) / (2.0 * a)
+
+
+def split_evenly(budget: PrivacyParams, k: int) -> Sequence[PrivacyParams]:
+    """Split ``budget`` into ``k`` equal parts under basic composition."""
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    return budget.split(*([1.0 / k] * k))
+
+
+def subsample_amplification(part: PrivacyParams, sample_size: int,
+                            population_size: int) -> PrivacyParams:
+    """Privacy amplification by sub-sampling (Lemma 6.4, [KLNRS11, BNSV15]).
+
+    If an algorithm ``A`` operating on databases of size ``m`` is
+    ``(eps, delta)``-DP with ``eps <= 1``, then running ``A`` on ``m`` rows
+    sub-sampled (with replacement) from a database of size ``n >= 2m`` is
+    ``(6 eps m / n, exp(6 eps m / n) * 4 m / n * delta)``-DP.
+    """
+    if population_size < 2 * sample_size:
+        raise ValueError(
+            "population_size must be at least twice sample_size for the "
+            f"amplification lemma; got {population_size} < 2*{sample_size}"
+        )
+    if part.epsilon > 1:
+        raise ValueError(
+            f"the amplification lemma requires epsilon <= 1, got {part.epsilon}"
+        )
+    ratio = sample_size / population_size
+    epsilon = 6.0 * part.epsilon * ratio
+    delta = math.exp(epsilon) * 4.0 * ratio * part.delta
+    return PrivacyParams(epsilon, min(delta, 1 - 1e-15))
+
+
+__all__ = [
+    "basic_composition",
+    "advanced_composition",
+    "advanced_composition_epsilon",
+    "per_step_epsilon_for_advanced",
+    "split_evenly",
+    "subsample_amplification",
+]

@@ -1,0 +1,74 @@
+"""A privacy-spend ledger.
+
+Composite algorithms (GoodRadius, GoodCenter, SA, ...) optionally record every
+sub-mechanism invocation into a :class:`PrivacyLedger`.  Tests assert that the
+recorded total never exceeds the budget handed to the top-level algorithm,
+which guards against accounting regressions when the implementation changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.accounting.composition import advanced_composition_epsilon, basic_composition
+from repro.accounting.params import PrivacyParams
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One recorded privacy spend."""
+
+    mechanism: str
+    params: PrivacyParams
+    note: str = ""
+
+
+@dataclass
+class PrivacyLedger:
+    """Accumulates privacy spends from sub-mechanisms.
+
+    The ledger is purely observational: it does not enforce a cap (the
+    algorithms themselves split budgets correctly), but it exposes the basic-
+    composition total so callers and tests can verify the arithmetic.
+    """
+
+    entries: List[LedgerEntry] = field(default_factory=list)
+
+    def record(self, mechanism: str, params: PrivacyParams, note: str = "") -> None:
+        """Record one sub-mechanism invocation."""
+        self.entries.append(LedgerEntry(mechanism=mechanism, params=params, note=note))
+
+    def total_basic(self) -> Optional[PrivacyParams]:
+        """The basic-composition total of all recorded spends."""
+        if not self.entries:
+            return None
+        return basic_composition(entry.params for entry in self.entries)
+
+    def total_advanced(self, delta_prime: float) -> Optional[PrivacyParams]:
+        """A (loose) advanced-composition total assuming homogeneous entries.
+
+        Uses the maximum per-entry epsilon as the homogeneous step epsilon.
+        Intended for reporting, not for enforcing budgets.
+        """
+        if not self.entries:
+            return None
+        k = len(self.entries)
+        step_epsilon = max(entry.params.epsilon for entry in self.entries)
+        epsilon = advanced_composition_epsilon(step_epsilon, k, delta_prime)
+        delta = sum(entry.params.delta for entry in self.entries) + delta_prime
+        return PrivacyParams(epsilon, min(delta, 1 - 1e-15))
+
+    def mechanisms(self) -> List[str]:
+        """The names of all recorded mechanisms, in order."""
+        return [entry.mechanism for entry in self.entries]
+
+    def clear(self) -> None:
+        """Drop all recorded entries."""
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+__all__ = ["PrivacyLedger", "LedgerEntry"]

@@ -1,0 +1,84 @@
+"""Differential-privacy parameter container.
+
+The whole library passes privacy budgets around as :class:`PrivacyParams`
+values.  The class is a frozen dataclass so a budget can never be mutated in
+place by a sub-mechanism; splitting always produces new objects, which the
+:class:`~repro.accounting.ledger.PrivacyLedger` can track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PrivacyParams:
+    """An ``(epsilon, delta)`` differential-privacy budget.
+
+    Parameters
+    ----------
+    epsilon:
+        The multiplicative privacy-loss bound; must be positive.
+    delta:
+        The additive failure probability; must lie in ``[0, 1)``.  ``0`` gives
+        pure differential privacy.
+    """
+
+    epsilon: float
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (self.epsilon > 0):
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        if not (0.0 <= self.delta < 1.0):
+            raise ValueError(f"delta must lie in [0, 1), got {self.delta}")
+
+    @property
+    def is_pure(self) -> bool:
+        """Whether this budget is pure (``delta == 0``) differential privacy."""
+        return self.delta == 0.0
+
+    def split(self, *fractions: float) -> tuple["PrivacyParams", ...]:
+        """Split the budget into parts proportional to ``fractions``.
+
+        The fractions must be positive and sum to at most 1 (within floating
+        point slack).  Both ``epsilon`` and ``delta`` are split with the same
+        fractions, matching the basic composition theorem (Theorem 2.1).
+
+        Examples
+        --------
+        >>> PrivacyParams(1.0, 1e-6).split(0.5, 0.5)
+        (PrivacyParams(epsilon=0.5, delta=5e-07), PrivacyParams(epsilon=0.5, delta=5e-07))
+        """
+        if not fractions:
+            raise ValueError("at least one fraction is required")
+        if any(fraction <= 0 for fraction in fractions):
+            raise ValueError(f"fractions must be positive, got {fractions}")
+        total = sum(fractions)
+        if total > 1.0 + 1e-9:
+            raise ValueError(
+                f"fractions must sum to at most 1, got sum {total}"
+            )
+        return tuple(
+            PrivacyParams(self.epsilon * fraction, self.delta * fraction)
+            for fraction in fractions
+        )
+
+    def part(self, fraction: float) -> "PrivacyParams":
+        """A single part of the budget: ``fraction`` of epsilon and delta."""
+        if not (0 < fraction <= 1):
+            raise ValueError(f"fraction must lie in (0, 1], got {fraction}")
+        return PrivacyParams(self.epsilon * fraction, self.delta * fraction)
+
+    def with_delta(self, delta: float) -> "PrivacyParams":
+        """A copy of this budget with ``delta`` replaced."""
+        return PrivacyParams(self.epsilon, delta)
+
+    def scaled(self, factor: float) -> "PrivacyParams":
+        """Scale both epsilon and delta by ``factor`` (used by amplification)."""
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return PrivacyParams(self.epsilon * factor, min(self.delta * factor, 1 - 1e-15))
+
+
+__all__ = ["PrivacyParams"]

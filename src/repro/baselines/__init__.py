@@ -1,0 +1,17 @@
+"""Baselines from Table 1 of the paper, plus non-private references."""
+
+from repro.baselines.nonprivate import nonprivate_one_cluster
+from repro.baselines.exponential_ball import exponential_mechanism_cluster
+from repro.baselines.private_aggregation import private_aggregation_cluster
+from repro.baselines.threshold_release import (
+    threshold_release_cluster_1d,
+    HierarchicalThresholdRelease,
+)
+
+__all__ = [
+    "nonprivate_one_cluster",
+    "exponential_mechanism_cluster",
+    "private_aggregation_cluster",
+    "threshold_release_cluster_1d",
+    "HierarchicalThresholdRelease",
+]

@@ -1,0 +1,46 @@
+"""Non-private reference solver for the 1-cluster problem.
+
+Used as the ground truth experiments compare private solvers against: the
+factor-2 approximation in general dimension (balls centred at input points),
+and the exact sliding-window solution in one dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import GoodCenterResult, GoodRadiusResult, OneClusterResult
+from repro.geometry.balls import Ball
+from repro.geometry.minimal_ball import smallest_ball_exact_1d, smallest_ball_two_approx
+from repro.utils.validation import check_integer, check_points
+
+
+def nonprivate_one_cluster(points, target: int) -> OneClusterResult:
+    """Solve the 1-cluster problem without privacy.
+
+    In one dimension the result is exact; in higher dimensions it is the
+    classical factor-2 approximation (smallest ball centred at an input
+    point).  The result is wrapped in the same :class:`OneClusterResult`
+    type as the private solvers so harness code can treat them uniformly.
+    """
+    points = check_points(points)
+    target = check_integer(target, "target", minimum=1)
+    if target > points.shape[0]:
+        raise ValueError("target cannot exceed the number of points")
+    if points.shape[1] == 1:
+        ball = smallest_ball_exact_1d(points[:, 0], target)
+    else:
+        ball = smallest_ball_two_approx(points, target)
+    radius_result = GoodRadiusResult(radius=ball.radius, gamma=0.0,
+                                     score=float(target), zero_cluster=ball.radius == 0.0,
+                                     method="nonprivate")
+    center_result = GoodCenterResult(center=np.asarray(ball.center, dtype=float),
+                                     radius_bound=ball.radius, attempts=0,
+                                     projected_dimension=points.shape[1],
+                                     captured_count=ball.count(points))
+    return OneClusterResult(ball=Ball(center=ball.center, radius=ball.radius),
+                            radius_result=radius_result,
+                            center_result=center_result, target=target)
+
+
+__all__ = ["nonprivate_one_cluster"]

@@ -1,0 +1,6 @@
+"""Downstream applications of the 1-cluster algorithm."""
+
+from repro.clustering.k_cluster import k_cluster, KClusterResult
+from repro.clustering.outliers import outlier_ball, OutlierScreen
+
+__all__ = ["k_cluster", "KClusterResult", "outlier_ball", "OutlierScreen"]

@@ -1,0 +1,119 @@
+"""Private outlier screening (paper Section 1.1, "Outlier detection").
+
+Running the 1-cluster solver with ``t ~ 0.9 n`` yields a ball containing most
+of the data; the released ball defines a predicate ``h`` that is 1 inside the
+ball and 0 outside.  Because the ball is a differentially private release,
+``h`` can be used freely (post-processing) — e.g. to restrict a subsequent
+private analysis to the inliers, reducing its sensitivity and hence its noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.accounting.ledger import PrivacyLedger
+from repro.accounting.params import PrivacyParams
+from repro.core.config import OneClusterConfig
+from repro.core.one_cluster import one_cluster
+from repro.core.types import OneClusterResult
+from repro.geometry.balls import Ball
+from repro.geometry.grid import GridDomain
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_points, check_probability
+
+
+@dataclass(frozen=True)
+class OutlierScreen:
+    """A released screening ball and the predicate it defines.
+
+    Attributes
+    ----------
+    ball:
+        The released ball (``None`` if the underlying 1-cluster call failed).
+    result:
+        The full :class:`~repro.core.types.OneClusterResult`.
+    inlier_fraction_target:
+        The fraction of the data the ball was asked to capture.
+    """
+
+    ball: Optional[Ball]
+    result: OneClusterResult
+    inlier_fraction_target: float
+
+    @property
+    def found(self) -> bool:
+        """Whether a screening ball was released."""
+        return self.ball is not None
+
+    def predicate(self, points) -> np.ndarray:
+        """The screening predicate ``h``: True for inliers (inside the ball).
+
+        Applying the predicate is pure post-processing of the released ball,
+        so it consumes no additional privacy budget.
+        """
+        points = check_points(points)
+        if self.ball is None:
+            return np.ones(points.shape[0], dtype=bool)
+        return self.ball.contains(points)
+
+    def outlier_mask(self, points) -> np.ndarray:
+        """Boolean mask of the *outliers* (points outside the ball)."""
+        return ~self.predicate(points)
+
+
+def outlier_ball(points, params: PrivacyParams, inlier_fraction: float = 0.9,
+                 beta: float = 0.1, radius_mode: str = "effective",
+                 radius_factor: float = 2.0,
+                 domain: Optional[GridDomain] = None,
+                 config: Optional[OneClusterConfig] = None,
+                 rng: RngLike = None,
+                 ledger: Optional[PrivacyLedger] = None) -> OutlierScreen:
+    """Release a ball capturing roughly ``inlier_fraction`` of the data.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` input points.
+    params:
+        Privacy budget for the screening call.
+    inlier_fraction:
+        The fraction of points the ball should capture (``t = fraction * n``).
+    beta:
+        Failure probability.
+    radius_mode:
+        ``"guaranteed"`` uses the conservative radius bound returned by the
+        solver; ``"effective"`` (default) post-processes the released ball by
+        shrinking it to ``radius_factor`` times the GoodRadius radius, which
+        gives a far more selective screen (the GoodRadius radius already
+        certifies a ball of that scale holding the inliers).
+    radius_factor:
+        Multiplier applied to the GoodRadius radius in ``"effective"`` mode.
+    domain, config, rng, ledger:
+        As in :func:`~repro.core.one_cluster.one_cluster`.
+    """
+    points = check_points(points)
+    check_probability(inlier_fraction, "inlier_fraction")
+    if radius_mode not in ("guaranteed", "effective"):
+        raise ValueError("radius_mode must be 'guaranteed' or 'effective'")
+    n = points.shape[0]
+    target = max(1, int(round(inlier_fraction * n)))
+    result = one_cluster(points, target, params, beta=beta, domain=domain,
+                         config=config, rng=rng, ledger=ledger)
+    if not result.found:
+        return OutlierScreen(ball=None, result=result,
+                             inlier_fraction_target=inlier_fraction)
+    if radius_mode == "guaranteed":
+        ball = result.ball
+    else:
+        # Both the centre and the GoodRadius radius are private releases, so
+        # combining them is post-processing.
+        radius = radius_factor * max(result.radius_result.radius, 1e-12)
+        ball = Ball(center=result.ball.center, radius=radius)
+    return OutlierScreen(ball=ball, result=result,
+                         inlier_fraction_target=inlier_fraction)
+
+
+__all__ = ["OutlierScreen", "outlier_ball"]

@@ -1,0 +1,39 @@
+"""The paper's primary contribution: private location of a small cluster.
+
+* :func:`~repro.core.good_radius.good_radius` — Algorithm 1 (GoodRadius).
+* :func:`~repro.core.good_center.good_center` — Algorithm 2 (GoodCenter).
+* :func:`~repro.core.one_cluster.one_cluster` — the combined solver of
+  Theorem 3.2 (GoodRadius then GoodCenter on a split budget).
+"""
+
+from repro.core.types import (
+    GoodRadiusResult,
+    GoodCenterResult,
+    OneClusterResult,
+)
+from repro.core.config import GoodCenterConfig, OneClusterConfig
+from repro.core.params import (
+    minimum_cluster_size,
+    additive_loss_bound,
+    good_radius_gamma,
+    radius_approximation_factor,
+)
+from repro.core.good_radius import good_radius, RadiusScore
+from repro.core.good_center import good_center
+from repro.core.one_cluster import one_cluster
+
+__all__ = [
+    "GoodRadiusResult",
+    "GoodCenterResult",
+    "OneClusterResult",
+    "GoodCenterConfig",
+    "OneClusterConfig",
+    "minimum_cluster_size",
+    "additive_loss_bound",
+    "good_radius_gamma",
+    "radius_approximation_factor",
+    "good_radius",
+    "RadiusScore",
+    "good_center",
+    "one_cluster",
+]

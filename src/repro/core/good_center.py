@@ -1,0 +1,263 @@
+"""Algorithm GoodCenter (paper Algorithm 2, Lemma 3.7).
+
+Given the radius ``r`` produced by GoodRadius, privately locate a centre
+``y_hat`` such that a ball of radius ``O(r sqrt(log n))`` around it contains
+at least ``t - O((1/epsilon) log(n/beta))`` input points.
+
+Structure (step numbers refer to Algorithm 2):
+
+1.  Project the points into ``R^k``, ``k = O(log(n/beta))``, with a
+    Johnson–Lindenstrauss map.  When ``k`` would reach the ambient dimension
+    ``d`` the projection is the identity — the JL step exists only to make
+    ``k`` small, so there is nothing to gain from a square random projection.
+2.  Instantiate AboveThreshold with budget ``epsilon/4``.
+3-6. Repeatedly draw a randomly shifted partition of ``R^k`` into boxes of
+    side ``O(r)`` and ask AboveThreshold whether some box captures ``~ t``
+    projected points; stop at the first positive answer.
+7.  Use the stability-based histogram (``epsilon/4, delta/4``) to pick a heavy
+    box ``B``; let ``D`` be the input points mapped into ``B``.
+8-9. Rotate ``R^d`` by a random orthonormal basis; on each rotated axis pick a
+    heavy interval of length ``p`` (stability-based histogram, per-axis budget
+    chosen so the ``d`` choices compose to ``epsilon/4`` under advanced
+    composition) and extend it by ``p`` on each side.
+10. Intersect ``D`` with the bounding sphere ``C`` of the resulting box —
+    this gives a *deterministic* diameter bound for the final step.
+11. Release the noisy average of ``D ∩ C`` with NoisyAVG (``epsilon/4,
+    delta/4``).
+
+Under the identity projection the chosen box ``B`` already lives in ``R^d``
+and is itself a deterministic diameter bound of order ``r sqrt(k)``, which is
+exactly what steps 8–10 exist to provide; in that case those steps are skipped
+and ``C`` is taken to be the circumscribed ball of ``B`` (this only ever
+*reduces* the privacy spend — the per-axis budget goes unused — and matches
+the paper's own explanation of why the rotation is needed, namely to avoid a
+``sqrt(d)`` blow-up that cannot occur when ``k = d``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.accounting.composition import per_step_epsilon_for_advanced
+from repro.accounting.ledger import PrivacyLedger
+from repro.accounting.params import PrivacyParams
+from repro.core.config import GoodCenterConfig
+from repro.core.types import GoodCenterResult
+from repro.geometry.boxes import AxisIntervalPartition, ShiftedBoxPartition
+from repro.geometry.jl import JohnsonLindenstrauss
+from repro.geometry.rotation import project_onto_basis, random_orthonormal_basis
+from repro.mechanisms.above_threshold import AboveThreshold
+from repro.mechanisms.histogram import stable_histogram_choice
+from repro.mechanisms.noisy_average import noisy_average
+from repro.utils.rng import RngLike, spawn_generators
+from repro.utils.validation import check_integer, check_points, check_positive, check_probability
+
+
+def _failure(attempts: int, k: int) -> GoodCenterResult:
+    return GoodCenterResult(center=None, radius_bound=float("inf"),
+                            attempts=attempts, projected_dimension=k)
+
+
+def good_center(points, radius: float, target: int, params: PrivacyParams,
+                beta: float = 0.1, config: Optional[GoodCenterConfig] = None,
+                rng: RngLike = None,
+                ledger: Optional[PrivacyLedger] = None) -> GoodCenterResult:
+    """Privately locate the centre of a ball of radius ``~ radius`` holding
+    ``~ target`` points.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` input database.
+    radius:
+        The cluster radius ``r`` (typically the GoodRadius output); must be
+        positive — a zero radius means a cluster of identical points, which
+        the combined solver handles separately.
+    target:
+        Desired cluster size ``t``.
+    params:
+        Overall ``(epsilon, delta)`` budget; split into four ``epsilon/4``
+        parts exactly as in the paper's privacy analysis (Lemma 4.11).
+    beta:
+        Failure probability.
+    config:
+        The GoodCenter constants (paper or practical).
+    rng:
+        Seed or generator.
+    ledger:
+        Optional privacy ledger.
+
+    Returns
+    -------
+    GoodCenterResult
+        ``center`` is ``None`` when the algorithm could not locate a heavy
+        box/interval or NoisyAVG abstained; callers may retry with a fresh
+        budget or report failure.
+    """
+    points = check_points(points)
+    radius = check_positive(radius, "radius")
+    target = check_integer(target, "target", minimum=1)
+    beta = check_probability(beta, "beta")
+    if params.delta <= 0:
+        raise ValueError("good_center requires delta > 0")
+    if config is None:
+        config = GoodCenterConfig.practical()
+
+    n, dimension = points.shape
+    at_fraction, box_fraction, axes_fraction, avg_fraction = config.budget_split
+    at_epsilon = params.epsilon * at_fraction
+    box_epsilon = params.epsilon * box_fraction
+    axes_epsilon = params.epsilon * axes_fraction
+    avg_epsilon = params.epsilon * avg_fraction
+    quarter_delta = params.delta / 4.0
+    (jl_rng, partition_rng, box_rng, basis_rng, axis_rng, avg_rng) = spawn_generators(rng, 6)
+
+    # ------------------------------------------------------------------ #
+    # Step 1: Johnson-Lindenstrauss projection (identity when k reaches d).
+    # ------------------------------------------------------------------ #
+    k = config.projection_dimension(n, beta, ambient_dimension=dimension)
+    identity_projection = k >= dimension
+    if identity_projection:
+        k = dimension
+        projected = points
+    else:
+        projection = JohnsonLindenstrauss(input_dimension=dimension,
+                                          output_dimension=k, rng=jl_rng)
+        projected = projection.project(points)
+
+    # ------------------------------------------------------------------ #
+    # Steps 2-6: find a heavy randomly-shifted box partition.
+    # ------------------------------------------------------------------ #
+    threshold = target - (config.threshold_slack_constant / params.epsilon) * math.log(
+        2.0 * n / beta
+    )
+    max_attempts = config.max_attempts(n, beta)
+    above = AboveThreshold(threshold, PrivacyParams(at_epsilon, 0.0),
+                           max_queries=max_attempts, rng=partition_rng)
+    if ledger is not None:
+        ledger.record("above_threshold", PrivacyParams(at_epsilon, 0.0),
+                      note="GoodCenter partition search")
+    width = config.box_width(radius, k, identity_projection)
+    chosen_partition: Optional[ShiftedBoxPartition] = None
+    attempts = 0
+    for _ in range(max_attempts):
+        attempts += 1
+        partition = ShiftedBoxPartition(dimension=k, width=width, rng=partition_rng)
+        answer = above.query(partition.heaviest_cell_count(projected))
+        if answer.above:
+            chosen_partition = partition
+            break
+    if chosen_partition is None:
+        return _failure(attempts, k)
+
+    # ------------------------------------------------------------------ #
+    # Step 7: pick the heavy box with the choosing mechanism.
+    # ------------------------------------------------------------------ #
+    labels = chosen_partition.labels(projected)
+    box_choice = stable_histogram_choice(
+        labels, PrivacyParams(box_epsilon, quarter_delta), rng=box_rng
+    )
+    if ledger is not None:
+        ledger.record("stable_histogram", PrivacyParams(box_epsilon, quarter_delta),
+                      note="GoodCenter box choice")
+    if not box_choice.found:
+        return _failure(attempts, k)
+    in_box = np.array([label == box_choice.key for label in labels], dtype=bool)
+    selected = points[in_box]
+    if selected.shape[0] == 0:
+        return _failure(attempts, k)
+    chosen_box = chosen_partition.box_for_label(box_choice.key)
+    selected_diameter = config.selected_set_diameter(radius, k, identity_projection)
+
+    if identity_projection:
+        # The box B is itself a subset of R^d with a known circumscribed ball;
+        # steps 8-10 would only produce a looser deterministic bound, so the
+        # bounding sphere is taken directly from B (see module docstring).
+        sphere_center = chosen_box.center
+        sphere_radius = chosen_box.diameter / 2.0
+        frame_points = selected
+        rotate_back = None
+    else:
+        # ---------------------------------------------------------------- #
+        # Steps 8-9: random rotation, per-axis heavy intervals.
+        # ---------------------------------------------------------------- #
+        basis = random_orthonormal_basis(dimension, rng=basis_rng)
+        rotated = project_onto_basis(selected, basis)
+        interval_length = config.rotated_interval_length(
+            radius, k, dimension, n, beta, identity_projection
+        )
+        axis_epsilon = per_step_epsilon_for_advanced(
+            axes_epsilon, dimension, delta_prime=params.delta / 8.0
+        )
+        axis_delta = params.delta / (8.0 * dimension)
+        axis_params = PrivacyParams(axis_epsilon, axis_delta)
+        axis_rngs = spawn_generators(axis_rng, dimension)
+
+        lower_bounds = np.empty(dimension)
+        upper_bounds = np.empty(dimension)
+        for axis in range(dimension):
+            partition = AxisIntervalPartition(width=interval_length)
+            axis_labels = partition.labels(rotated[:, axis]).tolist()
+            choice = stable_histogram_choice(axis_labels, axis_params,
+                                             rng=axis_rngs[axis])
+            if not choice.found:
+                return _failure(attempts, k)
+            low, high = partition.extended_interval(int(choice.key))
+            lower_bounds[axis] = low
+            upper_bounds[axis] = high
+        if ledger is not None:
+            ledger.record("stable_histogram_axes",
+                          PrivacyParams(axes_epsilon, quarter_delta),
+                          note="GoodCenter per-axis interval choices "
+                               "(advanced composition)")
+
+        # -------------------------------------------------------------- #
+        # Step 10: bounding sphere C in the rotated frame.
+        # -------------------------------------------------------------- #
+        sphere_center = (lower_bounds + upper_bounds) / 2.0
+        sphere_radius = config.bounding_sphere_radius(interval_length, dimension)
+        frame_points = rotated
+        rotate_back = basis
+
+    distances = np.linalg.norm(frame_points - sphere_center[None, :], axis=1)
+    captured = int(np.count_nonzero(distances <= sphere_radius))
+
+    # ------------------------------------------------------------------ #
+    # Step 11: NoisyAVG of D' in the working frame, then map back if needed.
+    # ------------------------------------------------------------------ #
+    average = noisy_average(
+        frame_points,
+        diameter=2.0 * sphere_radius,
+        params=PrivacyParams(avg_epsilon, quarter_delta),
+        predicate=lambda pts: np.linalg.norm(pts - sphere_center[None, :], axis=1)
+        <= sphere_radius,
+        center=sphere_center,
+        rng=avg_rng,
+    )
+    if ledger is not None:
+        ledger.record("noisy_average", PrivacyParams(avg_epsilon, quarter_delta),
+                      note="GoodCenter final average")
+    if not average.found:
+        return _failure(attempts, k)
+    if rotate_back is None:
+        center = np.asarray(average.value, dtype=float)
+    else:
+        # Basis rows are the rotated axes, so rotated coordinates map back to
+        # the standard frame through the matrix itself.
+        center = np.asarray(average.value, dtype=float) @ rotate_back
+
+    noise_bound = average.sigma * (math.sqrt(dimension) + math.sqrt(2.0 * math.log(2.0 / beta)))
+    radius_bound = selected_diameter + noise_bound
+    return GoodCenterResult(
+        center=center,
+        radius_bound=float(radius_bound),
+        attempts=attempts,
+        projected_dimension=k,
+        captured_count=captured,
+    )
+
+
+__all__ = ["good_center"]

@@ -1,0 +1,31 @@
+"""Synthetic workload generators used by examples, tests and benchmarks."""
+
+from repro.datasets.synthetic import (
+    PlantedClusterData,
+    planted_cluster,
+    gaussian_blobs,
+    uniform_background,
+    clustered_with_outliers,
+    geospatial_hotspots,
+    identical_points_cluster,
+    mixture_of_gaussians,
+)
+from repro.datasets.adversarial import (
+    figure1_cross_configuration,
+    figure2_interval_configuration,
+    split_cluster_configuration,
+)
+
+__all__ = [
+    "PlantedClusterData",
+    "planted_cluster",
+    "gaussian_blobs",
+    "uniform_background",
+    "clustered_with_outliers",
+    "geospatial_hotspots",
+    "identical_points_cluster",
+    "mixture_of_gaussians",
+    "figure1_cross_configuration",
+    "figure2_interval_configuration",
+    "split_cluster_configuration",
+]

@@ -1,0 +1,95 @@
+"""Adversarial configurations illustrated in the paper's figures.
+
+* **Figure 1** shows why GoodCenter's "first attempt" fails: on each axis a
+  heavy interval exists, but the intersection of the per-axis heavy intervals
+  is empty.  :func:`figure1_cross_configuration` builds the 2-d cross that
+  realises this.
+* **Figure 2** illustrates the interval-extension trick: a heavy interval ``I``
+  of length ``r`` captures only part of a diameter-``r`` cluster, but ``I``
+  extended by ``r`` on each side captures all of it.
+  :func:`figure2_interval_configuration` builds a 1-d instance exhibiting it.
+* :func:`split_cluster_configuration` is the sensitivity example from
+  Section 3.1 showing that the *uncapped, unaveraged* score has sensitivity
+  ``Omega(t)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_integer
+
+
+def figure1_cross_configuration(points_per_arm: int = 200, arm_offset: float = 0.4,
+                                spread: float = 0.02,
+                                rng: RngLike = None) -> np.ndarray:
+    """The Figure-1 counterexample to axis-by-axis interval selection.
+
+    Two blobs: one at ``(0.5 - arm_offset, 0.5 + arm_offset)`` and one at
+    ``(0.5 + arm_offset, 0.5 - arm_offset)``.  The marginal of the data on
+    each axis has two heavy intervals; picking the heavier one per axis
+    independently can select the pair of intervals whose intersection is
+    empty (no data point lies in the box they define).
+    """
+    check_integer(points_per_arm, "points_per_arm", minimum=1)
+    generator = as_generator(rng)
+    blob_a = np.column_stack([
+        generator.normal(0.5 - arm_offset, spread, size=points_per_arm),
+        generator.normal(0.5 + arm_offset, spread, size=points_per_arm),
+    ])
+    blob_b = np.column_stack([
+        generator.normal(0.5 + arm_offset, spread, size=points_per_arm),
+        generator.normal(0.5 - arm_offset, spread, size=points_per_arm),
+    ])
+    points = np.vstack([blob_a, blob_b])
+    return points[generator.permutation(points.shape[0])]
+
+
+def figure2_interval_configuration(cluster_size: int = 100, cluster_radius: float = 0.05,
+                                   interval_length: float = 0.05,
+                                   rng: RngLike = None) -> Tuple[np.ndarray, float]:
+    """A 1-d cluster straddling an interval boundary (Figure 2).
+
+    Returns the 1-d points (shape ``(cluster_size, 1)``) and the partition
+    offset such that the cluster straddles an interval boundary of the
+    partition into intervals of ``interval_length``: no single interval
+    contains all of the cluster, but every heavy interval extended by one
+    interval length per side does.
+    """
+    check_integer(cluster_size, "cluster_size", minimum=2)
+    generator = as_generator(rng)
+    center = 0.5
+    values = generator.uniform(center - cluster_radius, center + cluster_radius,
+                               size=cluster_size)
+    # Choose the partition offset so that a boundary falls exactly at the
+    # cluster centre, guaranteeing the cluster is split across two intervals.
+    offset = center % interval_length
+    return values.reshape(-1, 1), float(offset)
+
+
+def split_cluster_configuration(target: int) -> np.ndarray:
+    """The Section-3.1 sensitivity example (1-d, embedded on the first axis).
+
+    ``t/2`` copies of the origin, ``t/2`` copies of ``2 e_1`` and a single
+    point at ``e_1``.  A ball of radius 1 around ``e_1`` contains everything;
+    moving that single point to ``2 e_1`` destroys every radius-1 ball centred
+    at an input point that contains more than ``t/2`` points, so the
+    *uncapped max* score drops by ``Omega(t)`` — while the capped-average
+    score ``L`` changes by at most 2.
+    """
+    check_integer(target, "target", minimum=2)
+    half = target // 2
+    zeros = np.zeros((half, 1))
+    twos = np.full((half, 1), 2.0)
+    middle = np.array([[1.0]])
+    return np.vstack([zeros, middle, twos])
+
+
+__all__ = [
+    "figure1_cross_configuration",
+    "figure2_interval_configuration",
+    "split_cluster_configuration",
+]

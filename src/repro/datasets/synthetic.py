@@ -1,0 +1,296 @@
+"""Synthetic data generators.
+
+The paper motivates the 1-cluster problem with data-exploration scenarios
+(locating a concentrated sub-population on a map, screening outliers,
+aggregating sub-sample statistics).  The generators here produce the synthetic
+stand-ins used across examples, tests and benchmarks:
+
+* :func:`planted_cluster` — the canonical workload: a tight cluster of ``t``
+  points planted inside uniform background noise, with the ground-truth centre
+  and radius recorded so experiments can measure the approximation factor
+  ``w`` and additive loss ``Delta``.
+* :func:`gaussian_blobs` — ``k`` Gaussian clusters, for the k-clustering
+  heuristic (Observation 3.5).
+* :func:`clustered_with_outliers` — a dominant cluster plus a small fraction
+  of far-away outliers, for the outlier-screening application.
+* :func:`geospatial_hotspots` — a map-search-like workload: background
+  population plus a few dense hotspots in ``[0, 1]^2``.
+* :func:`mixture_of_gaussians` / :func:`identical_points_cluster` — inputs for
+  the sample-and-aggregate experiments and the zero-radius edge case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.balls import Ball
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_integer, check_positive
+
+
+@dataclass(frozen=True)
+class PlantedClusterData:
+    """A dataset with a known planted cluster.
+
+    Attributes
+    ----------
+    points:
+        The ``(n, d)`` dataset.
+    cluster_indices:
+        Indices of the planted-cluster members.
+    true_ball:
+        A ball that contains the whole planted cluster (the planting ball);
+        the optimal ``t``-ball can only be smaller.
+    """
+
+    points: np.ndarray
+    cluster_indices: np.ndarray
+    true_ball: Ball
+
+    @property
+    def n(self) -> int:
+        """Total number of points."""
+        return int(self.points.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension."""
+        return int(self.points.shape[1])
+
+    @property
+    def cluster_size(self) -> int:
+        """Number of planted-cluster members."""
+        return int(self.cluster_indices.shape[0])
+
+    @property
+    def cluster_points(self) -> np.ndarray:
+        """The planted-cluster members."""
+        return self.points[self.cluster_indices]
+
+
+def uniform_background(n: int, d: int, low: float = 0.0, high: float = 1.0,
+                       rng: RngLike = None) -> np.ndarray:
+    """``n`` points uniform in the cube ``[low, high]^d``."""
+    check_integer(n, "n", minimum=1)
+    check_integer(d, "d", minimum=1)
+    if high <= low:
+        raise ValueError("high must exceed low")
+    generator = as_generator(rng)
+    return generator.uniform(low, high, size=(n, d))
+
+
+def planted_cluster(n: int, d: int, cluster_size: int, cluster_radius: float,
+                    center: Optional[Sequence[float]] = None,
+                    low: float = 0.0, high: float = 1.0,
+                    rng: RngLike = None) -> PlantedClusterData:
+    """Uniform background noise with a tight planted cluster.
+
+    Parameters
+    ----------
+    n:
+        Total number of points.
+    d:
+        Dimension.
+    cluster_size:
+        Number of points planted inside the cluster ball.
+    cluster_radius:
+        Radius of the planting ball.
+    center:
+        Cluster centre; drawn uniformly from the middle half of the cube when
+        omitted (so the ball never crosses the domain boundary).
+    low, high:
+        Cube bounds.
+    rng:
+        Seed or generator.
+    """
+    check_integer(n, "n", minimum=1)
+    check_integer(d, "d", minimum=1)
+    check_integer(cluster_size, "cluster_size", minimum=1)
+    check_positive(cluster_radius, "cluster_radius")
+    if cluster_size > n:
+        raise ValueError("cluster_size cannot exceed n")
+    generator = as_generator(rng)
+    span = high - low
+    if center is None:
+        center = generator.uniform(low + 0.25 * span, high - 0.25 * span, size=d)
+    center = np.asarray(center, dtype=float).reshape(d)
+
+    background = generator.uniform(low, high, size=(n - cluster_size, d))
+    # Cluster members: uniform directions, radii biased toward the boundary so
+    # the planted ball is genuinely "filled" rather than a degenerate point.
+    directions = generator.standard_normal((cluster_size, d))
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    directions = directions / norms
+    radii = cluster_radius * generator.uniform(0.0, 1.0, size=(cluster_size, 1)) ** (1.0 / d)
+    cluster_points = center[None, :] + directions * radii
+
+    points = np.vstack([background, cluster_points])
+    order = generator.permutation(n)
+    points = points[order]
+    cluster_mask = np.zeros(n, dtype=bool)
+    cluster_mask[order >= (n - cluster_size)] = False
+    # Recover cluster indices after the permutation: positions whose original
+    # index was >= n - cluster_size.
+    cluster_indices = np.where(order >= (n - cluster_size))[0]
+    return PlantedClusterData(
+        points=points,
+        cluster_indices=cluster_indices,
+        true_ball=Ball(center=center, radius=cluster_radius),
+    )
+
+
+def gaussian_blobs(n: int, d: int, k: int, spread: float = 0.03,
+                   low: float = 0.0, high: float = 1.0,
+                   weights: Optional[Sequence[float]] = None,
+                   rng: RngLike = None):
+    """``k`` spherical Gaussian blobs inside the cube.
+
+    Returns
+    -------
+    (points, labels, centers):
+        The ``(n, d)`` data, per-point blob labels, and the ``(k, d)`` blob
+        centres.
+    """
+    check_integer(n, "n", minimum=1)
+    check_integer(d, "d", minimum=1)
+    check_integer(k, "k", minimum=1)
+    check_positive(spread, "spread")
+    generator = as_generator(rng)
+    span = high - low
+    centers = generator.uniform(low + 0.15 * span, high - 0.15 * span, size=(k, d))
+    if weights is None:
+        weights = np.full(k, 1.0 / k)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (k,) or np.any(weights <= 0):
+            raise ValueError("weights must be k positive numbers")
+        weights = weights / weights.sum()
+    labels = generator.choice(k, size=n, p=weights)
+    points = centers[labels] + generator.normal(0.0, spread, size=(n, d))
+    points = np.clip(points, low, high)
+    return points, labels, centers
+
+
+def clustered_with_outliers(n: int, d: int, outlier_fraction: float = 0.1,
+                            cluster_spread: float = 0.05,
+                            separation_factor: float = 12.0,
+                            rng: RngLike = None):
+    """A dominant cluster plus a fraction of far-away outliers.
+
+    Outliers are pushed to at least ``separation_factor * cluster_spread``
+    away from the cluster centre so screening experiments have an unambiguous
+    ground truth.
+
+    Returns
+    -------
+    (points, is_outlier):
+        The data and a boolean outlier mask.
+    """
+    check_integer(n, "n", minimum=2)
+    if not (0 <= outlier_fraction < 1):
+        raise ValueError("outlier_fraction must lie in [0, 1)")
+    generator = as_generator(rng)
+    num_outliers = int(round(outlier_fraction * n))
+    num_inliers = n - num_outliers
+    center = generator.uniform(0.35, 0.65, size=d)
+    inliers = center[None, :] + generator.normal(0.0, cluster_spread, size=(num_inliers, d))
+    outliers = generator.uniform(0.0, 1.0, size=(num_outliers, d))
+    # Push outliers away from the cluster centre so they are unambiguous.
+    away = outliers - center[None, :]
+    norms = np.linalg.norm(away, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    outliers = center[None, :] + away / norms * np.maximum(
+        norms, separation_factor * cluster_spread)
+    points = np.vstack([inliers, outliers])
+    is_outlier = np.zeros(n, dtype=bool)
+    is_outlier[num_inliers:] = True
+    order = generator.permutation(n)
+    return points[order], is_outlier[order]
+
+
+def geospatial_hotspots(n: int, num_hotspots: int = 3,
+                        hotspot_fraction: float = 0.5,
+                        hotspot_radius: float = 0.03,
+                        rng: RngLike = None):
+    """A 2-d map-search workload: background population plus dense hotspots.
+
+    Returns
+    -------
+    (points, hotspot_centers):
+        The ``(n, 2)`` data and the ``(num_hotspots, 2)`` hotspot centres.
+    """
+    check_integer(n, "n", minimum=1)
+    check_integer(num_hotspots, "num_hotspots", minimum=1)
+    if not (0 < hotspot_fraction <= 1):
+        raise ValueError("hotspot_fraction must lie in (0, 1]")
+    generator = as_generator(rng)
+    centers = generator.uniform(0.1, 0.9, size=(num_hotspots, 2))
+    num_hot = int(round(hotspot_fraction * n))
+    num_background = n - num_hot
+    background = generator.uniform(0.0, 1.0, size=(num_background, 2))
+    assignments = generator.integers(0, num_hotspots, size=num_hot)
+    hot = centers[assignments] + generator.normal(0.0, hotspot_radius, size=(num_hot, 2))
+    points = np.vstack([background, np.clip(hot, 0.0, 1.0)])
+    return points[generator.permutation(n)], centers
+
+
+def identical_points_cluster(n: int, d: int, cluster_size: int,
+                             rng: RngLike = None) -> np.ndarray:
+    """Background noise plus ``cluster_size`` copies of one grid point.
+
+    Exercises GoodRadius's zero-radius early exit (Algorithm 1, step 2).
+    """
+    check_integer(cluster_size, "cluster_size", minimum=1)
+    if cluster_size > n:
+        raise ValueError("cluster_size cannot exceed n")
+    generator = as_generator(rng)
+    background = generator.uniform(0.0, 1.0, size=(n - cluster_size, d))
+    point = np.round(generator.uniform(0.2, 0.8, size=d), decimals=3)
+    copies = np.tile(point, (cluster_size, 1))
+    points = np.vstack([background, copies])
+    return points[generator.permutation(n)]
+
+
+def mixture_of_gaussians(n: int, d: int, means: Sequence[Sequence[float]],
+                         stddev: float = 0.05,
+                         weights: Optional[Sequence[float]] = None,
+                         rng: RngLike = None):
+    """Samples from a spherical Gaussian mixture with the given means.
+
+    Used by the sample-and-aggregate experiments, which estimate the dominant
+    component's mean from sub-sample statistics.
+
+    Returns
+    -------
+    (points, labels):
+        The samples and their component labels.
+    """
+    means = np.asarray(means, dtype=float)
+    if means.ndim != 2 or means.shape[1] != d:
+        raise ValueError(f"means must have shape (k, {d})")
+    k = means.shape[0]
+    generator = as_generator(rng)
+    if weights is None:
+        weights = np.full(k, 1.0 / k)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        weights = weights / weights.sum()
+    labels = generator.choice(k, size=n, p=weights)
+    points = means[labels] + generator.normal(0.0, stddev, size=(n, d))
+    return points, labels
+
+
+__all__ = [
+    "PlantedClusterData",
+    "uniform_background",
+    "planted_cluster",
+    "gaussian_blobs",
+    "clustered_with_outliers",
+    "geospatial_hotspots",
+    "identical_points_cluster",
+    "mixture_of_gaussians",
+]

@@ -1,0 +1,175 @@
+"""Randomly shifted box partitions and axis-interval partitions.
+
+GoodCenter partitions the projected space ``R^k`` into axis-aligned boxes of a
+fixed side length with a uniformly random shift per axis (Algorithm 2,
+steps 3–4): if the target cluster has diameter at most a third of the side
+length, each axis "splits" the cluster with probability at most 1/3-ish, so
+with probability ``~ c^k`` no axis splits it and some box contains the whole
+cluster.  The same building block, one axis at a time, is used for the
+rotated-axis refinement (step 9).
+
+Boxes are identified by integer index vectors; :class:`ShiftedBoxPartition`
+maps points to those labels, which is exactly the input the stability-based
+histogram mechanism needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_points, check_positive
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned box given by per-axis lower and upper bounds."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        lower = np.asarray(self.lower, dtype=float).reshape(-1)
+        upper = np.asarray(self.upper, dtype=float).reshape(-1)
+        if lower.shape != upper.shape:
+            raise ValueError("lower and upper must have the same shape")
+        if np.any(upper < lower):
+            raise ValueError("upper must be at least lower on every axis")
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+
+    @property
+    def dimension(self) -> int:
+        """The number of axes."""
+        return int(self.lower.shape[0])
+
+    @property
+    def side_lengths(self) -> np.ndarray:
+        """Per-axis side lengths."""
+        return self.upper - self.lower
+
+    @property
+    def center(self) -> np.ndarray:
+        """The box centre."""
+        return (self.lower + self.upper) / 2.0
+
+    @property
+    def diameter(self) -> float:
+        """Euclidean diameter (norm of the side-length vector)."""
+        return float(np.linalg.norm(self.side_lengths))
+
+    def contains(self, points) -> np.ndarray:
+        """Boolean mask of points inside the (half-open) box."""
+        points = check_points(points, dimension=self.dimension)
+        above = np.all(points >= self.lower[None, :], axis=1)
+        below = np.all(points < self.upper[None, :], axis=1)
+        return above & below
+
+    def expanded(self, margin: float) -> "Box":
+        """The box enlarged by ``margin`` on every side (paper's ``I_hat``)."""
+        check_positive(margin, "margin", strict=False)
+        return Box(lower=self.lower - margin, upper=self.upper + margin)
+
+
+class ShiftedBoxPartition:
+    """A partition of ``R^k`` into boxes of side ``width`` with random shifts.
+
+    Parameters
+    ----------
+    dimension:
+        The number of axes ``k``.
+    width:
+        The side length of every box.
+    rng:
+        Seed or generator used to draw the per-axis shifts in ``[0, width)``.
+    """
+
+    def __init__(self, dimension: int, width: float, rng: RngLike = None) -> None:
+        if dimension < 1:
+            raise ValueError(f"dimension must be at least 1, got {dimension}")
+        check_positive(width, "width")
+        self.dimension = int(dimension)
+        self.width = float(width)
+        generator = as_generator(rng)
+        self.shifts = generator.uniform(0.0, self.width, size=self.dimension)
+
+    def labels(self, points) -> list:
+        """The box label (a tuple of per-axis indices) of every point."""
+        points = check_points(points, dimension=self.dimension)
+        indices = np.floor((points - self.shifts[None, :]) / self.width).astype(np.int64)
+        return [tuple(row) for row in indices]
+
+    def heaviest_cell_count(self, points) -> int:
+        """The maximum number of points falling into one box.
+
+        This is the sensitivity-1 query GoodCenter feeds to AboveThreshold
+        (Algorithm 2, step 5).
+        """
+        labels = self.labels(points)
+        if not labels:
+            return 0
+        counts = {}
+        for label in labels:
+            counts[label] = counts.get(label, 0) + 1
+        return max(counts.values())
+
+    def box_for_label(self, label: Tuple[int, ...]) -> Box:
+        """The geometric box corresponding to an integer label."""
+        label_array = np.asarray(label, dtype=float)
+        if label_array.shape[0] != self.dimension:
+            raise ValueError(
+                f"label has {label_array.shape[0]} axes, expected {self.dimension}"
+            )
+        lower = self.shifts + label_array * self.width
+        upper = lower + self.width
+        return Box(lower=lower, upper=upper)
+
+    def cluster_capture_probability(self, cluster_diameter: float) -> float:
+        """Lower bound on the probability that one box contains a set of the
+        given diameter: ``(1 - diameter/width)^k`` (0 if diameter > width)."""
+        if cluster_diameter < 0:
+            raise ValueError("cluster_diameter must be non-negative")
+        per_axis = max(0.0, 1.0 - cluster_diameter / self.width)
+        return float(per_axis ** self.dimension)
+
+
+class AxisIntervalPartition:
+    """A partition of one axis into intervals ``[j*width + offset, (j+1)*width + offset)``.
+
+    Used on every rotated axis in GoodCenter step 9.  The offset is 0 in the
+    paper (the intervals need not be randomly shifted there because the target
+    set's spread is at most the interval length and the interval is extended
+    by one length on each side afterwards).
+    """
+
+    def __init__(self, width: float, offset: float = 0.0) -> None:
+        check_positive(width, "width")
+        self.width = float(width)
+        self.offset = float(offset)
+
+    def labels(self, values: np.ndarray) -> np.ndarray:
+        """Integer interval index of every scalar value."""
+        values = np.asarray(values, dtype=float).reshape(-1)
+        return np.floor((values - self.offset) / self.width).astype(np.int64)
+
+    def interval(self, label: int) -> Tuple[float, float]:
+        """The ``[low, high)`` endpoints of the interval with the given index."""
+        low = self.offset + label * self.width
+        return low, low + self.width
+
+    def extended_interval(self, label: int, margin: float = None) -> Tuple[float, float]:
+        """The interval extended by ``margin`` (default: one width) per side.
+
+        This is the paper's ``I_hat`` (Figure 2): extending a heavy interval
+        by the full cluster spread guarantees it contains the whole cluster.
+        """
+        if margin is None:
+            margin = self.width
+        low, high = self.interval(label)
+        return low - margin, high + margin
+
+
+__all__ = ["Box", "ShiftedBoxPartition", "AxisIntervalPartition"]

@@ -1,0 +1,146 @@
+"""Finite grid domains ``X^d``.
+
+The paper assumes the data universe is a finite, totally ordered set
+``X \\subset R`` and identifies ``X^d`` with the real ``d``-dimensional unit
+cube quantised with grid step ``1/(|X| - 1)`` (Remark 3.3 extends this to
+arbitrary axis length and grid step).  The lower bound of Section 5 shows the
+finiteness assumption is necessary: the error parameters must grow with
+``log* |X|``.
+
+:class:`GridDomain` captures that universe: it knows its per-axis grid, can
+snap arbitrary points onto the grid, enumerate candidate radii, and report the
+quantities (``|X|``, diameter, ``log*`` factors) that the parameter
+calculators need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.iterated_log import log_star
+from repro.utils.validation import check_points
+
+
+@dataclass(frozen=True)
+class GridDomain:
+    """A finite, axis-aligned grid domain ``X^d``.
+
+    Parameters
+    ----------
+    dimension:
+        The number of axes ``d``.
+    side:
+        The number of grid points per axis, ``|X|``; must be at least 2.
+    low:
+        The smallest coordinate value on every axis (default 0).
+    high:
+        The largest coordinate value on every axis (default 1).
+    """
+
+    dimension: int
+    side: int
+    low: float = 0.0
+    high: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.dimension < 1:
+            raise ValueError(f"dimension must be at least 1, got {self.dimension}")
+        if self.side < 2:
+            raise ValueError(f"side (|X|) must be at least 2, got {self.side}")
+        if not (self.high > self.low):
+            raise ValueError(
+                f"high must exceed low, got low={self.low}, high={self.high}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Basic geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def step(self) -> float:
+        """The grid step ``(high - low) / (|X| - 1)``."""
+        return (self.high - self.low) / (self.side - 1)
+
+    @property
+    def axis_length(self) -> float:
+        """The length of each axis, ``high - low``."""
+        return self.high - self.low
+
+    @property
+    def diameter(self) -> float:
+        """The Euclidean diameter of the domain, ``axis_length * sqrt(d)``."""
+        return self.axis_length * math.sqrt(self.dimension)
+
+    @property
+    def num_points(self) -> float:
+        """``|X|^d`` (as a float; may overflow an int for large d)."""
+        return float(self.side) ** self.dimension
+
+    # ------------------------------------------------------------------ #
+    # Paper-specific quantities
+    # ------------------------------------------------------------------ #
+    def log_star_factor(self, base: float = 9.0) -> float:
+        """``base^{log*(2 |X| sqrt(d))}`` — the factor in Theorem 3.2."""
+        argument = 2.0 * self.side * math.sqrt(self.dimension)
+        return float(base) ** log_star(argument)
+
+    def rec_concave_solution_count(self) -> int:
+        """Size of the radius solution set used by GoodRadius (Algorithm 1,
+        step 4): ``{0, 1/(2|X|), 2/(2|X|), ..., ceil(sqrt(d))}`` rescaled to
+        the domain's grid step."""
+        max_radius = self.diameter
+        step = self.step / 2.0
+        return int(math.ceil(max_radius / step)) + 1
+
+    def candidate_radii(self) -> np.ndarray:
+        """The grid of candidate radii GoodRadius searches over.
+
+        Matches Algorithm 1: multiples of half the grid step from 0 up to the
+        domain diameter (``ceil(sqrt(d))`` in the unit-cube normalisation).
+        """
+        step = self.step / 2.0
+        count = self.rec_concave_solution_count()
+        return step * np.arange(count, dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # Point handling
+    # ------------------------------------------------------------------ #
+    def axis_values(self) -> np.ndarray:
+        """The ``|X|`` coordinate values of one axis."""
+        return np.linspace(self.low, self.high, self.side)
+
+    def snap(self, points) -> np.ndarray:
+        """Snap arbitrary points onto the grid (nearest grid node, clipped)."""
+        points = check_points(points, dimension=self.dimension)
+        clipped = np.clip(points, self.low, self.high)
+        indices = np.rint((clipped - self.low) / self.step)
+        return self.low + indices * self.step
+
+    def contains(self, points, atol: float = 1e-9) -> bool:
+        """Whether every point lies (approximately) on the grid."""
+        points = check_points(points, dimension=self.dimension)
+        if np.any(points < self.low - atol) or np.any(points > self.high + atol):
+            return False
+        offsets = (points - self.low) / self.step
+        return bool(np.all(np.abs(offsets - np.rint(offsets)) <= atol / self.step))
+
+    def sample_uniform(self, count: int, rng=None) -> np.ndarray:
+        """Sample ``count`` grid points uniformly at random."""
+        from repro.utils.rng import as_generator
+
+        if count < 1:
+            raise ValueError(f"count must be at least 1, got {count}")
+        generator = as_generator(rng)
+        indices = generator.integers(0, self.side, size=(count, self.dimension))
+        return self.low + indices * self.step
+
+    @classmethod
+    def unit_cube(cls, dimension: int, side: int) -> "GridDomain":
+        """The paper's canonical domain: the unit cube with ``|X|`` grid
+        points per axis."""
+        return cls(dimension=dimension, side=side, low=0.0, high=1.0)
+
+
+__all__ = ["GridDomain"]

@@ -1,0 +1,17 @@
+"""Lower-bound machinery (paper Section 5)."""
+
+from repro.lowerbound.interior_point import (
+    is_interior_point,
+    nonprivate_interior_point,
+    interior_point_sample_complexity_lower_bound,
+)
+from repro.lowerbound.int_point import int_point, IntPointResult, int_point_sample_size
+
+__all__ = [
+    "is_interior_point",
+    "nonprivate_interior_point",
+    "interior_point_sample_complexity_lower_bound",
+    "int_point",
+    "IntPointResult",
+    "int_point_sample_size",
+]

@@ -1,0 +1,49 @@
+"""The interior point problem (paper Definition 5.1, Theorem 5.2).
+
+An algorithm solves the interior point problem on a totally ordered domain
+``X`` if, given a database ``D`` of elements of ``X``, it outputs some ``x``
+with ``min D <= x <= max D``.  Bun–Nissim–Stemmer–Vadhan (FOCS 2015) showed
+that solving it with ``(epsilon, delta)``-differential privacy requires sample
+complexity ``n >= Omega(log* |X|)`` — in particular it is impossible over
+infinite domains — and the paper's Section 5 reduces the interior point
+problem to the 1-cluster problem, transferring the impossibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.iterated_log import log_star
+from repro.utils.validation import check_points
+
+
+def is_interior_point(value: float, database) -> bool:
+    """Whether ``value`` lies between the minimum and maximum of the database."""
+    values = np.asarray(database, dtype=float).reshape(-1)
+    if values.size == 0:
+        raise ValueError("database must be non-empty")
+    return bool(values.min() <= value <= values.max())
+
+
+def nonprivate_interior_point(database) -> float:
+    """A trivially correct, non-private interior point: the median."""
+    values = np.asarray(database, dtype=float).reshape(-1)
+    if values.size == 0:
+        raise ValueError("database must be non-empty")
+    return float(np.median(values))
+
+
+def interior_point_sample_complexity_lower_bound(domain_size: float,
+                                                 constant: float = 1.0) -> float:
+    """The Theorem 5.2 lower bound, ``n >= Omega(log* |X|)``, reported as
+    ``constant * log*(|X|)``."""
+    if domain_size < 2:
+        raise ValueError("domain_size must be at least 2")
+    return constant * log_star(domain_size)
+
+
+__all__ = [
+    "is_interior_point",
+    "nonprivate_interior_point",
+    "interior_point_sample_complexity_lower_bound",
+]

@@ -1,0 +1,42 @@
+"""Differential-privacy primitive mechanisms used throughout the library.
+
+These are the substrates the paper builds on (its Section 2 and 4.2):
+
+* :mod:`repro.mechanisms.laplace` — the Laplace mechanism (Theorem 2.3).
+* :mod:`repro.mechanisms.gaussian` — the Gaussian mechanism (Theorem 2.4).
+* :mod:`repro.mechanisms.exponential` — the exponential mechanism
+  (McSherry–Talwar) and report-noisy-max.
+* :mod:`repro.mechanisms.above_threshold` — the sparse-vector technique
+  (Theorem 4.8).
+* :mod:`repro.mechanisms.histogram` — stability-based histogram / "choosing
+  mechanism" for point-function release (Theorem 2.5).
+* :mod:`repro.mechanisms.noisy_average` — Algorithm NoisyAVG (Appendix A).
+"""
+
+from repro.mechanisms.laplace import laplace_mechanism, laplace_noise, laplace_counting_query
+from repro.mechanisms.gaussian import gaussian_mechanism, gaussian_sigma
+from repro.mechanisms.exponential import exponential_mechanism, report_noisy_max
+from repro.mechanisms.above_threshold import AboveThreshold, AboveThresholdResult
+from repro.mechanisms.histogram import (
+    stable_histogram_choice,
+    noisy_histogram,
+    HistogramChoice,
+)
+from repro.mechanisms.noisy_average import noisy_average, NoisyAverageResult
+
+__all__ = [
+    "laplace_mechanism",
+    "laplace_noise",
+    "laplace_counting_query",
+    "gaussian_mechanism",
+    "gaussian_sigma",
+    "exponential_mechanism",
+    "report_noisy_max",
+    "AboveThreshold",
+    "AboveThresholdResult",
+    "stable_histogram_choice",
+    "noisy_histogram",
+    "HistogramChoice",
+    "noisy_average",
+    "NoisyAverageResult",
+]

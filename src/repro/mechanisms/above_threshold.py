@@ -1,0 +1,135 @@
+"""The sparse-vector technique: algorithm AboveThreshold (paper Theorem 4.8).
+
+A data curator holding a database receives a stream of sensitivity-1 queries
+and, per instantiation, answers ``below`` (``False``) until the first query
+whose noisy value exceeds a noisy threshold, at which point it answers
+``above`` (``True``) and halts.  Only that single positive answer is paid for
+in the privacy budget regardless of how many negative answers preceded it.
+
+GoodCenter (Algorithm 2, steps 2–6) instantiates AboveThreshold once and
+feeds it up to ``2 n log(1/beta) / beta`` queries of the form "the maximum
+number of projected points falling in one cell of this randomly shifted box
+partition", stopping at the first partition that captures the cluster.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.accounting.params import PrivacyParams
+from repro.utils.rng import RngLike, as_generator
+
+
+@dataclass(frozen=True)
+class AboveThresholdResult:
+    """Outcome of a single query to :class:`AboveThreshold`."""
+
+    above: bool
+    query_index: int
+
+
+class AboveThreshold:
+    """Streaming sparse-vector mechanism.
+
+    Parameters
+    ----------
+    threshold:
+        The (non-private) threshold the queries are compared against.
+    params:
+        The privacy budget for the whole instantiation.  The classical
+        analysis splits ``epsilon`` in half: ``epsilon/2`` for the threshold
+        noise and ``epsilon/2`` for the per-query noise.
+    max_queries:
+        Upper bound on the number of queries that will be asked.  Only used
+        for the high-probability accuracy bound, not for privacy.
+    rng:
+        Seed or generator.
+
+    Notes
+    -----
+    The mechanism is ``(epsilon, 0)``-differentially private regardless of the
+    number of (sensitivity-1) queries asked, *provided* the caller stops after
+    the first ``above`` answer.  :meth:`query` raises ``RuntimeError`` if
+    called after the mechanism halted, so accidental reuse is loud.
+    """
+
+    def __init__(self, threshold: float, params: PrivacyParams,
+                 max_queries: int = 1, rng: RngLike = None) -> None:
+        if max_queries < 1:
+            raise ValueError(f"max_queries must be at least 1, got {max_queries}")
+        self._threshold = float(threshold)
+        self._params = params
+        self._max_queries = int(max_queries)
+        self._rng = as_generator(rng)
+        self._epsilon_threshold = params.epsilon / 2.0
+        self._epsilon_queries = params.epsilon / 2.0
+        self._noisy_threshold = self._threshold + self._rng.laplace(
+            0.0, 2.0 / self._epsilon_threshold
+        )
+        self._halted = False
+        self._queries_asked = 0
+
+    @property
+    def halted(self) -> bool:
+        """Whether the mechanism already produced an ``above`` answer."""
+        return self._halted
+
+    @property
+    def queries_asked(self) -> int:
+        """The number of queries answered so far."""
+        return self._queries_asked
+
+    def query(self, value: float) -> AboveThresholdResult:
+        """Ask one sensitivity-1 query with exact value ``value``.
+
+        Returns
+        -------
+        AboveThresholdResult
+            ``above=True`` if the noisy value exceeded the noisy threshold,
+            in which case the mechanism halts.
+        """
+        if self._halted:
+            raise RuntimeError(
+                "AboveThreshold has already answered 'above'; instantiate a "
+                "new mechanism (and pay fresh privacy budget) to continue"
+            )
+        index = self._queries_asked
+        self._queries_asked += 1
+        noisy_value = float(value) + self._rng.laplace(0.0, 4.0 / self._epsilon_queries)
+        above = noisy_value >= self._noisy_threshold
+        if above:
+            self._halted = True
+        return AboveThresholdResult(above=above, query_index=index)
+
+    def accuracy_bound(self, beta: float) -> float:
+        """High-probability accuracy ``alpha`` of Theorem 4.8.
+
+        With probability at least ``1 - beta``, every ``above`` answer has
+        true value at least ``threshold - alpha`` and every ``below`` answer
+        has true value at most ``threshold + alpha``, where
+        ``alpha = (8 / epsilon) * log(2 * max_queries / beta)``.
+        """
+        if not (0 < beta < 1):
+            raise ValueError(f"beta must lie in (0, 1), got {beta}")
+        return (8.0 / self._params.epsilon) * math.log(2.0 * self._max_queries / beta)
+
+
+def sparse_vector_first_above(values, threshold: float, params: PrivacyParams,
+                              rng: RngLike = None) -> Optional[int]:
+    """Convenience wrapper: index of the first value flagged above threshold.
+
+    Runs :class:`AboveThreshold` over the finite sequence ``values`` and
+    returns the index of the first ``above`` answer, or ``None`` if all
+    queries were answered ``below``.
+    """
+    values = list(values)
+    mechanism = AboveThreshold(threshold, params, max_queries=max(len(values), 1), rng=rng)
+    for index, value in enumerate(values):
+        if mechanism.query(value).above:
+            return index
+    return None
+
+
+__all__ = ["AboveThreshold", "AboveThresholdResult", "sparse_vector_first_above"]

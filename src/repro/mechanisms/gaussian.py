@@ -1,0 +1,78 @@
+"""The Gaussian mechanism (paper Theorem 2.4, Dwork et al. 2006).
+
+Adding ``N(0, sigma^2)`` noise per coordinate, with
+``sigma >= (sensitivity / epsilon) * sqrt(2 ln(1.25/delta))``, to a function
+of L2-sensitivity ``sensitivity`` preserves ``(epsilon, delta)``-DP.
+GoodCenter's final step releases the noisy average of the located cluster with
+this mechanism (via :mod:`repro.mechanisms.noisy_average`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.accounting.params import PrivacyParams
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_positive
+
+
+def gaussian_sigma(sensitivity: float, params: PrivacyParams) -> float:
+    """The standard deviation required by Theorem 2.4.
+
+    ``sigma = (sensitivity / epsilon) * sqrt(2 ln(1.25 / delta))``.
+
+    Raises
+    ------
+    ValueError
+        If ``params.delta == 0`` (the Gaussian mechanism needs ``delta > 0``)
+        or ``params.epsilon >= 1`` is violated is *not* enforced here; the
+        classical analysis assumes ``epsilon < 1`` but the formula remains a
+        valid (slightly loose) choice for moderately larger epsilon, so we
+        only require positivity.
+    """
+    check_positive(sensitivity, "sensitivity")
+    if params.delta <= 0:
+        raise ValueError("the Gaussian mechanism requires delta > 0")
+    return (sensitivity / params.epsilon) * math.sqrt(2.0 * math.log(1.25 / params.delta))
+
+
+def gaussian_mechanism(value, sensitivity: float, params: PrivacyParams,
+                       rng: RngLike = None) -> Union[float, np.ndarray]:
+    """Release ``value`` (scalar or array) with Gaussian noise per coordinate.
+
+    Parameters
+    ----------
+    value:
+        Exact answer (scalar or array).
+    sensitivity:
+        L2-sensitivity of the query.
+    params:
+        Privacy budget; requires ``delta > 0``.
+    rng:
+        Seed or generator.
+    """
+    sigma = gaussian_sigma(sensitivity, params)
+    generator = as_generator(rng)
+    array = np.asarray(value, dtype=float)
+    noise = generator.normal(0.0, sigma, size=array.shape if array.ndim else None)
+    if array.ndim == 0:
+        return float(array) + float(noise)
+    return array + noise
+
+
+def gaussian_tail_bound(sigma: float, beta: float) -> float:
+    """A bound ``b`` with ``Pr[|N(0, sigma^2)| > b] <= beta``.
+
+    Uses the standard sub-Gaussian tail ``b = sigma * sqrt(2 ln(2/beta))``.
+    The utility analysis of GoodCenter (Lemma 4.12) uses per-coordinate tail
+    bounds of exactly this form.
+    """
+    check_positive(sigma, "sigma")
+    check_positive(beta, "beta")
+    return sigma * math.sqrt(2.0 * math.log(2.0 / beta))
+
+
+__all__ = ["gaussian_sigma", "gaussian_mechanism", "gaussian_tail_bound"]

@@ -1,0 +1,163 @@
+"""Stability-based histogram and the "choosing mechanism" (paper Theorem 2.5).
+
+Given a database and a partition of the data universe into (possibly
+infinitely many) cells, the task is to privately identify a cell containing
+approximately the maximum number of database elements.  The standard
+stability-based construction adds Laplace noise only to *occupied* cells and
+suppresses any cell whose noisy count falls below a threshold of order
+``(1/epsilon) * log(1/delta)``; because unoccupied cells are never released,
+the mechanism works even when the number of cells is unbounded, at the cost of
+a ``delta`` failure probability.
+
+GoodCenter uses this mechanism twice: once to pick the "heavy" box of the
+randomly-shifted partition of the JL-projected space (Algorithm 2, step 7) and
+once per rotated axis to pick a heavy interval (step 9c).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.accounting.params import PrivacyParams
+from repro.utils.rng import RngLike, as_generator
+
+
+@dataclass(frozen=True)
+class HistogramChoice:
+    """Result of a stability-based histogram selection."""
+
+    key: Optional[Hashable]
+    noisy_count: float
+    true_count: int
+
+    @property
+    def found(self) -> bool:
+        """Whether a cell was released at all."""
+        return self.key is not None
+
+
+def _count_cells(labels: Iterable[Hashable]) -> Counter:
+    counter: Counter = Counter()
+    for label in labels:
+        counter[label] += 1
+    return counter
+
+
+def release_threshold(params: PrivacyParams, beta: float = 0.05,
+                      num_elements: int = 1) -> float:
+    """The suppression threshold guaranteeing ``(epsilon, delta)``-DP.
+
+    The classical analysis requires suppressing cells whose noisy count is
+    below ``1 + (2/epsilon) * log(2/delta)``; the paper's Theorem 2.5 states
+    the resulting utility as: if the max cell has ``T >= (2/epsilon) *
+    log(4 n / (beta delta))`` elements then with probability ``1 - beta`` a
+    cell with at least ``T - (4/epsilon) log(2 n / beta)`` elements is
+    returned.
+    """
+    if params.delta <= 0:
+        raise ValueError("stability-based histogram requires delta > 0")
+    return 1.0 + (2.0 / params.epsilon) * math.log(2.0 / params.delta)
+
+
+def noisy_histogram(labels: Sequence[Hashable], params: PrivacyParams,
+                    rng: RngLike = None) -> Dict[Hashable, float]:
+    """Release a stability-based noisy histogram over the occupied cells.
+
+    Every occupied cell receives ``Lap(2/epsilon)`` noise; cells whose noisy
+    count falls below :func:`release_threshold` are suppressed (not present in
+    the returned dict).  The result is ``(epsilon, delta)``-differentially
+    private for any partition, including partitions with infinitely many
+    cells.
+    """
+    generator = as_generator(rng)
+    counts = _count_cells(labels)
+    threshold = release_threshold(params)
+    released: Dict[Hashable, float] = {}
+    for key, count in counts.items():
+        noisy = count + generator.laplace(0.0, 2.0 / params.epsilon)
+        if noisy >= threshold:
+            released[key] = noisy
+    return released
+
+
+def stable_histogram_choice(labels: Sequence[Hashable], params: PrivacyParams,
+                            rng: RngLike = None) -> HistogramChoice:
+    """Privately choose (approximately) the most populated cell.
+
+    This is the "choosing mechanism" of paper Theorem 2.5.  Returns a
+    :class:`HistogramChoice` whose ``key`` is ``None`` when every noisy count
+    fell below the release threshold (which, per the theorem, only happens
+    with probability ``beta`` when the max cell holds at least
+    ``(2/epsilon) log(4 n / (beta delta))`` elements).
+
+    Parameters
+    ----------
+    labels:
+        The cell label of each database element.  Elements mapping to the
+        same label are in the same cell.
+    params:
+        Privacy budget; requires ``delta > 0``.
+    rng:
+        Seed or generator.
+    """
+    counts = _count_cells(labels)
+    released = noisy_histogram(labels, params, rng=rng)
+    if not released:
+        return HistogramChoice(key=None, noisy_count=0.0, true_count=0)
+    best_key = max(released, key=lambda key: released[key])
+    return HistogramChoice(
+        key=best_key,
+        noisy_count=float(released[best_key]),
+        true_count=int(counts[best_key]),
+    )
+
+
+def choosing_mechanism_requirement(params: PrivacyParams, beta: float,
+                                   num_elements: int) -> float:
+    """The minimum max-cell count required by Theorem 2.5.
+
+    ``T >= (2/epsilon) * log(4 n / (beta delta))`` guarantees that with
+    probability at least ``1 - beta`` the mechanism returns a cell containing
+    at least ``T - (4/epsilon) * log(2 n / beta)`` elements.
+    """
+    if params.delta <= 0:
+        raise ValueError("choosing mechanism requires delta > 0")
+    if not (0 < beta < 1):
+        raise ValueError(f"beta must lie in (0, 1), got {beta}")
+    return (2.0 / params.epsilon) * math.log(4.0 * num_elements / (beta * params.delta))
+
+
+def choosing_mechanism_loss(params: PrivacyParams, beta: float,
+                            num_elements: int) -> float:
+    """The additive loss guaranteed by Theorem 2.5 (see above)."""
+    if not (0 < beta < 1):
+        raise ValueError(f"beta must lie in (0, 1), got {beta}")
+    return (4.0 / params.epsilon) * math.log(2.0 * num_elements / beta)
+
+
+def bucketize(values: np.ndarray, width: float, offset: float = 0.0) -> np.ndarray:
+    """Map scalar values to integer bucket indices of a shifted uniform grid.
+
+    ``bucket(v) = floor((v - offset) / width)``.  Used for building the
+    partition labels fed to :func:`stable_histogram_choice`.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    values = np.asarray(values, dtype=float)
+    return np.floor((values - offset) / width).astype(np.int64)
+
+
+__all__ = [
+    "HistogramChoice",
+    "noisy_histogram",
+    "stable_histogram_choice",
+    "release_threshold",
+    "choosing_mechanism_requirement",
+    "choosing_mechanism_loss",
+    "bucketize",
+]

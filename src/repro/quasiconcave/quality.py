@@ -1,0 +1,132 @@
+"""Quality-function interface for quasi-concave promise problems.
+
+A quasi-concave promise problem (paper Definition 4.2) consists of a totally
+ordered finite solution set ``F`` (here always represented as indices
+``0 .. size-1``), a sensitivity-1 quality function ``Q(S, f)``, an
+approximation parameter ``alpha`` and a quality promise ``p``.  The solver
+only interacts with the database through ``Q``, so the interface below is all
+it needs: evaluate the quality of one index, or of a batch of indices (the
+batch form lets numpy-backed qualities such as GoodRadius's ``L``-based score
+amortise their per-call cost).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+
+class QualityFunction:
+    """Abstract sensitivity-1 quality function over indices ``0 .. size-1``."""
+
+    @property
+    def size(self) -> int:
+        """The number of candidate solutions ``|F|``."""
+        raise NotImplementedError
+
+    def value(self, index: int) -> float:
+        """Quality of a single candidate."""
+        raise NotImplementedError
+
+    def values(self, indices: Sequence[int]) -> np.ndarray:
+        """Qualities of a batch of candidates (default: loop over
+        :meth:`value`; override for vectorised evaluation)."""
+        return np.array([self.value(int(index)) for index in indices], dtype=float)
+
+
+class ArrayQuality(QualityFunction):
+    """Quality function backed by a precomputed array of scores."""
+
+    def __init__(self, scores) -> None:
+        scores = np.asarray(scores, dtype=float).reshape(-1)
+        if scores.size == 0:
+            raise ValueError("scores must be non-empty")
+        self._scores = scores
+
+    @property
+    def size(self) -> int:
+        return int(self._scores.size)
+
+    def value(self, index: int) -> float:
+        return float(self._scores[index])
+
+    def values(self, indices: Sequence[int]) -> np.ndarray:
+        return self._scores[np.asarray(indices, dtype=np.int64)]
+
+
+class CallableQuality(QualityFunction):
+    """Quality function backed by a callable, with memoisation.
+
+    Parameters
+    ----------
+    function:
+        Callable mapping an index to a quality value.
+    size:
+        The number of candidates.
+    batch_function:
+        Optional callable mapping an integer array of indices to an array of
+        qualities; used when available to avoid Python-level loops.
+    """
+
+    def __init__(self, function: Callable[[int], float], size: int,
+                 batch_function: Callable[[np.ndarray], np.ndarray] = None) -> None:
+        if size < 1:
+            raise ValueError(f"size must be at least 1, got {size}")
+        self._function = function
+        self._batch_function = batch_function
+        self._size = int(size)
+        self._cache: Dict[int, float] = {}
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def evaluations(self) -> int:
+        """How many distinct indices have been evaluated (for efficiency tests)."""
+        return len(self._cache)
+
+    def value(self, index: int) -> float:
+        index = int(index)
+        if not (0 <= index < self._size):
+            raise IndexError(f"index {index} out of range [0, {self._size})")
+        if index not in self._cache:
+            self._cache[index] = float(self._function(index))
+        return self._cache[index]
+
+    def values(self, indices: Sequence[int]) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        missing = [int(i) for i in np.unique(indices) if int(i) not in self._cache]
+        if missing:
+            if self._batch_function is not None:
+                computed = np.asarray(self._batch_function(np.asarray(missing)), dtype=float)
+                for key, val in zip(missing, computed):
+                    self._cache[int(key)] = float(val)
+            else:
+                for key in missing:
+                    self._cache[key] = float(self._function(key))
+        return np.array([self._cache[int(i)] for i in indices], dtype=float)
+
+
+def is_quasi_concave(scores, tolerance: float = 1e-9) -> bool:
+    """Check whether a score array is quasi-concave.
+
+    ``Q`` is quasi-concave iff for every ``i <= l <= j``,
+    ``Q(l) >= min(Q(i), Q(j))`` — equivalently, the sequence never dips below
+    a level it later exceeds again.  Used by tests and by debug assertions in
+    the solvers.
+    """
+    scores = np.asarray(scores, dtype=float).reshape(-1)
+    if scores.size <= 2:
+        return True
+    # Quasi-concave iff scores first (weakly) rise to a peak then (weakly)
+    # fall, up to tolerance: running max from the left and running max from
+    # the right must cover every value.
+    prefix_max = np.maximum.accumulate(scores)
+    suffix_max = np.maximum.accumulate(scores[::-1])[::-1]
+    lower_envelope = np.minimum(prefix_max, suffix_max)
+    return bool(np.all(scores >= lower_envelope - tolerance))
+
+
+__all__ = ["QualityFunction", "ArrayQuality", "CallableQuality", "is_quasi_concave"]

@@ -1,0 +1,30 @@
+"""Sample-and-aggregate framework (paper Section 6, Algorithm 4 SA)."""
+
+from repro.sample_aggregate.framework import (
+    sample_and_aggregate,
+    StablePointResult,
+    sa_minimum_database_size,
+)
+from repro.sample_aggregate.stability import empirical_stability, StabilityEstimate
+from repro.sample_aggregate.aggregators import (
+    one_cluster_aggregator,
+    noisy_average_aggregator,
+)
+from repro.sample_aggregate.applications import (
+    private_mean_estimator,
+    private_median_estimator,
+    private_gmm_center_estimator,
+)
+
+__all__ = [
+    "sample_and_aggregate",
+    "StablePointResult",
+    "sa_minimum_database_size",
+    "empirical_stability",
+    "StabilityEstimate",
+    "one_cluster_aggregator",
+    "noisy_average_aggregator",
+    "private_mean_estimator",
+    "private_median_estimator",
+    "private_gmm_center_estimator",
+]

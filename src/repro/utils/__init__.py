@@ -1,0 +1,21 @@
+"""Shared utilities: RNG handling, iterated logarithms, validation helpers."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.iterated_log import log_star, tower
+from repro.utils.validation import (
+    check_points,
+    check_positive,
+    check_probability,
+    check_in_range,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "log_star",
+    "tower",
+    "check_points",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+]

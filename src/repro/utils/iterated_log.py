@@ -1,0 +1,73 @@
+"""Iterated logarithm (log*) and the tower function.
+
+The paper's error bounds contain factors of the form ``2^{O(log* |X| d)}`` and
+the lower bound (Corollary 5.4) is phrased in terms of the tower function.
+These helpers make those quantities explicit so parameter calculators and
+experiments can report the exact promise values the theorems require.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def log_star(value: float, base: float = 2.0) -> int:
+    """Iterated logarithm: the number of times ``log`` must be applied to
+    ``value`` before the result drops to at most 1.
+
+    ``log_star(x) = 0`` for ``x <= 1``.  For example ``log_star(2) == 1``,
+    ``log_star(4) == 2``, ``log_star(16) == 3``, ``log_star(65536) == 4``.
+
+    Parameters
+    ----------
+    value:
+        The argument; may be any real number (values ``<= 1`` give 0).
+    base:
+        Logarithm base, 2 by default (as in the paper).
+    """
+    if base <= 1:
+        raise ValueError(f"base must exceed 1, got {base}")
+    if value <= 1:
+        return 0
+    count = 0
+    current = float(value)
+    while current > 1.0:
+        current = math.log(current, base)
+        count += 1
+        if count > 10_000:  # pragma: no cover - defensive
+            raise RuntimeError("log_star failed to converge")
+    return count
+
+
+def tower(height: int, base: float = 2.0) -> float:
+    """Tower function ``tower(0) = 1`` and ``tower(j) = base ** tower(j-1)``.
+
+    Used in Corollary 5.4: the lower bound applies whenever the approximation
+    factor ``w`` is below an exponential tower in ``n``.  Heights above ~5
+    overflow a float; ``math.inf`` is returned in that case so callers can
+    still compare against it.
+    """
+    if height < 0:
+        raise ValueError(f"height must be non-negative, got {height}")
+    result = 1.0
+    for _ in range(height):
+        try:
+            result = base ** result
+        except OverflowError:
+            return math.inf
+        if result == math.inf:
+            return math.inf
+    return result
+
+
+def log_star_factor(value: float, base: float = 9.0) -> float:
+    """The ``base ** log_star(value)`` factor appearing in Theorem 3.2.
+
+    The paper's bounds use ``9^{log*(2 |X| sqrt(d))}``; this helper computes
+    ``base ** log_star(value)`` for any base so parameter calculators can
+    report both the paper-faithful and practical variants.
+    """
+    return float(base) ** log_star(value)
+
+
+__all__ = ["log_star", "tower", "log_star_factor"]

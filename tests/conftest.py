@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite.
+
+Tests of the private algorithms use generous privacy budgets and fixed seeds
+so that the (randomised) utility assertions hold deterministically; the
+privacy-accounting tests exercise the budget arithmetic separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accounting.params import PrivacyParams
+from repro.datasets.synthetic import planted_cluster
+
+
+@pytest.fixture
+def rng():
+    """A fixed-seed generator for deterministic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def loose_params():
+    """A generous privacy budget used for utility assertions."""
+    return PrivacyParams(epsilon=8.0, delta=1e-5)
+
+
+@pytest.fixture
+def standard_params():
+    """A typical budget used for accounting / plumbing tests."""
+    return PrivacyParams(epsilon=1.0, delta=1e-6)
+
+
+@pytest.fixture
+def small_cluster_data():
+    """A small planted-cluster dataset (n=600, d=2) shared across tests."""
+    return planted_cluster(n=600, d=2, cluster_size=250, cluster_radius=0.05,
+                           center=[0.5, 0.5], rng=7)
+
+
+@pytest.fixture
+def medium_cluster_data():
+    """A medium planted-cluster dataset (n=1200, d=4)."""
+    return planted_cluster(n=1200, d=4, cluster_size=500, cluster_radius=0.05,
+                           center=[0.5, 0.5, 0.5, 0.5], rng=11)

@@ -1,0 +1,149 @@
+"""Tests for repro.accounting: parameters, composition, ledger."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.accounting.composition import (
+    advanced_composition,
+    advanced_composition_epsilon,
+    basic_composition,
+    per_step_epsilon_for_advanced,
+    split_evenly,
+    subsample_amplification,
+)
+from repro.accounting.ledger import PrivacyLedger
+from repro.accounting.params import PrivacyParams
+
+
+class TestPrivacyParams:
+    def test_valid_construction(self):
+        params = PrivacyParams(1.0, 1e-6)
+        assert params.epsilon == 1.0
+        assert params.delta == 1e-6
+        assert not params.is_pure
+
+    def test_pure_dp(self):
+        assert PrivacyParams(0.5).is_pure
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            PrivacyParams(0.0)
+        with pytest.raises(ValueError):
+            PrivacyParams(-1.0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            PrivacyParams(1.0, 1.0)
+        with pytest.raises(ValueError):
+            PrivacyParams(1.0, -0.1)
+
+    def test_split_conserves_budget(self):
+        parts = PrivacyParams(1.0, 1e-6).split(0.25, 0.75)
+        assert sum(part.epsilon for part in parts) == pytest.approx(1.0)
+        assert sum(part.delta for part in parts) == pytest.approx(1e-6)
+
+    def test_split_rejects_excess(self):
+        with pytest.raises(ValueError):
+            PrivacyParams(1.0).split(0.6, 0.6)
+
+    def test_split_rejects_nonpositive_fraction(self):
+        with pytest.raises(ValueError):
+            PrivacyParams(1.0).split(0.5, 0.0)
+
+    def test_part(self):
+        part = PrivacyParams(2.0, 1e-6).part(0.25)
+        assert part.epsilon == pytest.approx(0.5)
+        assert part.delta == pytest.approx(2.5e-7)
+
+    def test_frozen(self):
+        params = PrivacyParams(1.0)
+        with pytest.raises(Exception):
+            params.epsilon = 2.0
+
+    @given(st.floats(min_value=1e-3, max_value=10),
+           st.integers(min_value=1, max_value=10))
+    def test_split_evenly_sums_back(self, epsilon, k):
+        parts = split_evenly(PrivacyParams(epsilon, 1e-7), k)
+        total = basic_composition(parts)
+        assert total.epsilon == pytest.approx(epsilon)
+
+
+class TestComposition:
+    def test_basic_composition_adds(self):
+        total = basic_composition([PrivacyParams(0.5, 1e-7)] * 4)
+        assert total.epsilon == pytest.approx(2.0)
+        assert total.delta == pytest.approx(4e-7)
+
+    def test_basic_composition_empty(self):
+        with pytest.raises(ValueError):
+            basic_composition([])
+
+    def test_advanced_beats_basic_for_many_small_steps(self):
+        step = PrivacyParams(0.01, 0.0)
+        k = 1000
+        advanced = advanced_composition(step, k, delta_prime=1e-6)
+        assert advanced.epsilon < k * step.epsilon
+
+    def test_advanced_epsilon_formula(self):
+        epsilon = advanced_composition_epsilon(0.1, 10, 1e-6)
+        expected = 2 * 10 * 0.01 + 0.1 * math.sqrt(2 * 10 * math.log(1e6))
+        assert epsilon == pytest.approx(expected)
+
+    def test_per_step_inversion(self):
+        total = 0.5
+        per_step = per_step_epsilon_for_advanced(total, 20, 1e-6)
+        recomposed = advanced_composition_epsilon(per_step, 20, 1e-6)
+        assert recomposed == pytest.approx(total, rel=1e-9)
+
+    @given(st.floats(min_value=0.01, max_value=2.0),
+           st.integers(min_value=1, max_value=200))
+    def test_per_step_inversion_property(self, total, k):
+        per_step = per_step_epsilon_for_advanced(total, k, 1e-6)
+        recomposed = advanced_composition_epsilon(per_step, k, 1e-6)
+        assert recomposed <= total * (1 + 1e-9)
+
+    def test_subsample_amplification_shrinks(self):
+        base = PrivacyParams(1.0, 1e-6)
+        amplified = subsample_amplification(base, sample_size=100,
+                                            population_size=1000)
+        assert amplified.epsilon < base.epsilon
+
+    def test_subsample_amplification_requires_small_sample(self):
+        with pytest.raises(ValueError):
+            subsample_amplification(PrivacyParams(1.0, 1e-6), 600, 1000)
+
+    def test_subsample_amplification_requires_small_epsilon(self):
+        with pytest.raises(ValueError):
+            subsample_amplification(PrivacyParams(2.0, 1e-6), 100, 1000)
+
+
+class TestLedger:
+    def test_records_and_totals(self):
+        ledger = PrivacyLedger()
+        ledger.record("laplace", PrivacyParams(0.5, 0.0))
+        ledger.record("gaussian", PrivacyParams(0.5, 1e-7))
+        total = ledger.total_basic()
+        assert total.epsilon == pytest.approx(1.0)
+        assert total.delta == pytest.approx(1e-7)
+        assert ledger.mechanisms() == ["laplace", "gaussian"]
+        assert len(ledger) == 2
+
+    def test_empty_ledger(self):
+        ledger = PrivacyLedger()
+        assert ledger.total_basic() is None
+        assert ledger.total_advanced(1e-6) is None
+
+    def test_clear(self):
+        ledger = PrivacyLedger()
+        ledger.record("laplace", PrivacyParams(0.5))
+        ledger.clear()
+        assert len(ledger) == 0
+
+    def test_advanced_total_reported(self):
+        ledger = PrivacyLedger()
+        for _ in range(10):
+            ledger.record("step", PrivacyParams(0.05, 0.0))
+        advanced = ledger.total_advanced(1e-6)
+        assert advanced.epsilon > 0

@@ -1,0 +1,139 @@
+"""Tests for the Table-1 baseline solvers."""
+
+import numpy as np
+import pytest
+
+from repro.accounting.params import PrivacyParams
+from repro.baselines.exponential_ball import (
+    exponential_baseline_loss_bound,
+    exponential_mechanism_cluster,
+)
+from repro.baselines.nonprivate import nonprivate_one_cluster
+from repro.baselines.private_aggregation import private_aggregation_cluster
+from repro.baselines.threshold_release import (
+    HierarchicalThresholdRelease,
+    threshold_release_cluster_1d,
+)
+from repro.datasets.synthetic import planted_cluster
+from repro.geometry.grid import GridDomain
+
+
+class TestNonPrivate:
+    def test_exact_in_1d(self):
+        values = np.concatenate([np.random.default_rng(0).uniform(0.4, 0.45, 50),
+                                 np.random.default_rng(1).uniform(0, 1, 100)])
+        result = nonprivate_one_cluster(values.reshape(-1, 1), target=50)
+        assert result.found
+        assert result.ball.radius <= 0.03
+        assert result.ball.count(values.reshape(-1, 1), slack=1e-9) >= 50
+
+    def test_two_approx_in_higher_dimension(self, medium_cluster_data):
+        data = medium_cluster_data
+        result = nonprivate_one_cluster(data.points, target=400)
+        assert result.ball.count(data.points, slack=1e-9) >= 400
+        # The planted ball certifies r_opt <= 0.05, so the 2-approx is <= 0.1.
+        assert result.ball.radius <= 2 * 0.05 + 1e-6
+
+    def test_invalid_target(self, small_cluster_data):
+        with pytest.raises(ValueError):
+            nonprivate_one_cluster(small_cluster_data.points, target=10 ** 6)
+
+
+class TestExponentialMechanismBaseline:
+    def test_finds_cluster_on_small_grid(self):
+        domain = GridDomain.unit_cube(dimension=2, side=17)
+        data = planted_cluster(n=500, d=2, cluster_size=250, cluster_radius=0.05,
+                               center=[0.5, 0.5], rng=0)
+        snapped = domain.snap(np.clip(data.points, 0, 1))
+        result = exponential_mechanism_cluster(snapped, target=200,
+                                               params=PrivacyParams(4.0, 1e-6),
+                                               domain=domain, rng=1)
+        assert result.found
+        error = np.linalg.norm(result.ball.center - np.array([0.5, 0.5]))
+        assert error <= 0.2
+        assert result.ball.count(snapped, slack=1e-9) >= 100
+
+    def test_guards_against_huge_grids(self):
+        domain = GridDomain.unit_cube(dimension=6, side=64)
+        points = np.zeros((10, 6))
+        with pytest.raises(ValueError):
+            exponential_mechanism_cluster(points, 5, PrivacyParams(1.0), domain)
+
+    def test_loss_bound_positive(self):
+        domain = GridDomain.unit_cube(dimension=2, side=33)
+        assert exponential_baseline_loss_bound(domain, PrivacyParams(1.0)) > 0
+
+
+class TestPrivateAggregationBaseline:
+    def test_works_for_majority_cluster(self):
+        data = planted_cluster(n=800, d=2, cluster_size=700, cluster_radius=0.05,
+                               center=[0.5, 0.5], rng=2)
+        result = private_aggregation_cluster(data.points, target=500,
+                                             params=PrivacyParams(4.0, 1e-6), rng=3)
+        assert result.found
+        error = np.linalg.norm(result.ball.center - np.array([0.5, 0.5]))
+        assert error <= 0.2
+
+    def test_fails_for_minority_cluster(self):
+        """The documented weakness: with no majority cluster the trimmed-mean
+        centre lands far from the (minority) planted cluster."""
+        data = planted_cluster(n=2000, d=2, cluster_size=400,
+                               cluster_radius=0.02, center=[0.15, 0.85], rng=4)
+        result = private_aggregation_cluster(data.points, target=350,
+                                             params=PrivacyParams(4.0, 1e-6), rng=5)
+        error = np.linalg.norm(result.ball.center - np.array([0.15, 0.85]))
+        assert error > 0.1  # centre pulled toward the global trimmed mean
+
+    def test_result_structure(self, small_cluster_data):
+        result = private_aggregation_cluster(small_cluster_data.points, 200,
+                                             PrivacyParams(2.0, 1e-6), rng=0)
+        assert result.radius_result.method == "private_aggregation"
+        assert result.target == 200
+
+
+class TestThresholdRelease:
+    def test_tree_counts_close_to_truth(self):
+        domain = GridDomain(dimension=1, side=257, low=0.0, high=1.0)
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 1, size=3000)
+        release = HierarchicalThresholdRelease(domain, PrivacyParams(2.0), rng=1)
+        release.fit(values)
+        # Interval [0, 0.5] should contain roughly half the points.
+        half_cell = 128
+        count = release.interval_count(0, half_cell)
+        assert abs(count - np.count_nonzero(values <= 0.5)) <= 200
+
+    def test_prefix_counts_monotone_up_to_noise(self):
+        domain = GridDomain(dimension=1, side=129, low=0.0, high=1.0)
+        values = np.random.default_rng(1).uniform(0, 1, size=2000)
+        release = HierarchicalThresholdRelease(domain, PrivacyParams(2.0), rng=2)
+        release.fit(values)
+        prefix = release.prefix_counts()
+        assert prefix[-1] >= prefix[0]
+
+    def test_query_before_fit_raises(self):
+        domain = GridDomain(dimension=1, side=17, low=0.0, high=1.0)
+        release = HierarchicalThresholdRelease(domain, PrivacyParams(1.0))
+        with pytest.raises(RuntimeError):
+            release.interval_count(0, 5)
+
+    def test_rejects_multidimensional_domain(self):
+        with pytest.raises(ValueError):
+            HierarchicalThresholdRelease(GridDomain.unit_cube(2, 17),
+                                         PrivacyParams(1.0))
+
+    def test_cluster_recovery_1d(self):
+        data = planted_cluster(n=3000, d=1, cluster_size=1200,
+                               cluster_radius=0.03, center=[0.4], rng=3)
+        result = threshold_release_cluster_1d(data.points, target=1000,
+                                              params=PrivacyParams(2.0, 1e-6),
+                                              rng=4)
+        assert result.found
+        assert abs(result.ball.center[0] - 0.4) <= 0.1
+        # w = 1 regime: the released radius is close to the optimal one.
+        assert result.ball.radius <= 0.1
+
+    def test_error_bound_reported(self):
+        domain = GridDomain(dimension=1, side=1025, low=0.0, high=1.0)
+        release = HierarchicalThresholdRelease(domain, PrivacyParams(1.0))
+        assert release.error_bound() > 0

@@ -1,0 +1,86 @@
+"""Tests for the downstream applications: k-clustering and outlier screening."""
+
+import numpy as np
+import pytest
+
+from repro.accounting.params import PrivacyParams
+from repro.clustering.k_cluster import k_cluster
+from repro.clustering.outliers import outlier_ball
+from repro.datasets.synthetic import clustered_with_outliers, gaussian_blobs
+
+
+class TestKCluster:
+    def test_covers_well_separated_blobs(self):
+        points, labels, centers = gaussian_blobs(n=1500, d=2, k=3, spread=0.02,
+                                                 rng=0)
+        params = PrivacyParams(12.0, 1e-5)
+        result = k_cluster(points, k=3, params=params, rng=1)
+        assert result.num_found >= 2
+        assert result.covered_fraction >= 0.5
+
+    def test_single_cluster_degenerates_to_one_cluster(self):
+        points, _, centers = gaussian_blobs(n=800, d=2, k=1, spread=0.02, rng=2)
+        params = PrivacyParams(8.0, 1e-5)
+        result = k_cluster(points, k=1, params=params, rng=3)
+        assert result.num_found == 1
+        assert np.linalg.norm(result.balls[0].center - centers[0]) <= 0.3
+
+    def test_respects_k_rounds(self):
+        points, _, _ = gaussian_blobs(n=900, d=2, k=2, spread=0.02, rng=4)
+        params = PrivacyParams(8.0, 1e-5)
+        result = k_cluster(points, k=2, params=params, rng=5)
+        assert len(result.results) <= 2
+        assert result.num_found <= 2
+
+    def test_invalid_k(self):
+        points = np.zeros((50, 2))
+        with pytest.raises(ValueError):
+            k_cluster(points, k=0, params=PrivacyParams(1.0, 1e-6))
+
+    def test_results_and_balls_lengths_consistent(self):
+        points, _, _ = gaussian_blobs(n=600, d=2, k=2, spread=0.03, rng=6)
+        result = k_cluster(points, k=2, params=PrivacyParams(8.0, 1e-5), rng=7)
+        assert result.num_found == len(result.balls)
+        assert len(result.results) >= result.num_found
+
+
+class TestOutlierScreen:
+    def test_flags_injected_outliers(self):
+        points, is_outlier = clustered_with_outliers(n=1200, d=2,
+                                                     outlier_fraction=0.1, rng=0)
+        params = PrivacyParams(8.0, 1e-5)
+        screen = outlier_ball(points, params, inlier_fraction=0.85, rng=1)
+        assert screen.found
+        flagged = screen.outlier_mask(points)
+        recall = np.count_nonzero(flagged & is_outlier) / np.count_nonzero(is_outlier)
+        assert recall >= 0.5
+
+    def test_predicate_is_postprocessing(self):
+        points, _ = clustered_with_outliers(n=800, d=2, outlier_fraction=0.1, rng=2)
+        params = PrivacyParams(8.0, 1e-5)
+        screen = outlier_ball(points, params, inlier_fraction=0.85, rng=3)
+        # The predicate can be evaluated on arbitrary new points.
+        fresh = np.random.default_rng(4).uniform(size=(100, 2))
+        mask = screen.predicate(fresh)
+        assert mask.shape == (100,)
+
+    def test_guaranteed_mode_uses_larger_ball(self):
+        points, _ = clustered_with_outliers(n=800, d=2, outlier_fraction=0.1, rng=5)
+        params = PrivacyParams(8.0, 1e-5)
+        effective = outlier_ball(points, params, inlier_fraction=0.85,
+                                 radius_mode="effective", rng=6)
+        guaranteed = outlier_ball(points, params, inlier_fraction=0.85,
+                                  radius_mode="guaranteed", rng=6)
+        if effective.found and guaranteed.found:
+            assert guaranteed.ball.radius >= effective.ball.radius
+
+    def test_invalid_radius_mode(self):
+        points = np.zeros((50, 2))
+        with pytest.raises(ValueError):
+            outlier_ball(points, PrivacyParams(1.0, 1e-6), radius_mode="bogus")
+
+    def test_unfound_screen_keeps_everything(self):
+        points, _ = clustered_with_outliers(n=400, d=2, outlier_fraction=0.1, rng=7)
+        screen = outlier_ball(points, PrivacyParams(0.01, 1e-9), rng=8)
+        if not screen.found:
+            assert np.all(screen.predicate(points))

@@ -1,0 +1,131 @@
+"""Tests for the synthetic and adversarial dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.adversarial import (
+    figure1_cross_configuration,
+    figure2_interval_configuration,
+    split_cluster_configuration,
+)
+from repro.datasets.synthetic import (
+    clustered_with_outliers,
+    gaussian_blobs,
+    geospatial_hotspots,
+    identical_points_cluster,
+    mixture_of_gaussians,
+    planted_cluster,
+    uniform_background,
+)
+
+
+class TestPlantedCluster:
+    def test_shapes_and_bookkeeping(self):
+        data = planted_cluster(n=500, d=3, cluster_size=200, cluster_radius=0.05,
+                               rng=0)
+        assert data.points.shape == (500, 3)
+        assert data.n == 500
+        assert data.dimension == 3
+        assert data.cluster_size == 200
+        assert data.cluster_points.shape == (200, 3)
+
+    def test_cluster_members_inside_true_ball(self):
+        data = planted_cluster(n=400, d=4, cluster_size=150, cluster_radius=0.07,
+                               rng=1)
+        assert np.all(data.true_ball.contains(data.cluster_points, slack=1e-9))
+
+    def test_explicit_center(self):
+        data = planted_cluster(n=300, d=2, cluster_size=100, cluster_radius=0.05,
+                               center=[0.2, 0.8], rng=2)
+        assert np.allclose(data.true_ball.center, [0.2, 0.8])
+
+    def test_deterministic_with_seed(self):
+        a = planted_cluster(n=100, d=2, cluster_size=40, cluster_radius=0.1, rng=3)
+        b = planted_cluster(n=100, d=2, cluster_size=40, cluster_radius=0.1, rng=3)
+        assert np.array_equal(a.points, b.points)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            planted_cluster(n=10, d=2, cluster_size=20, cluster_radius=0.1)
+        with pytest.raises(ValueError):
+            planted_cluster(n=10, d=2, cluster_size=5, cluster_radius=0.0)
+
+
+class TestOtherGenerators:
+    def test_uniform_background_bounds(self):
+        points = uniform_background(200, 3, low=-1.0, high=2.0, rng=0)
+        assert points.shape == (200, 3)
+        assert points.min() >= -1.0
+        assert points.max() <= 2.0
+
+    def test_gaussian_blobs(self):
+        points, labels, centers = gaussian_blobs(n=300, d=2, k=3, rng=1)
+        assert points.shape == (300, 2)
+        assert labels.shape == (300,)
+        assert centers.shape == (3, 2)
+        assert set(np.unique(labels)) <= {0, 1, 2}
+
+    def test_gaussian_blobs_weights(self):
+        points, labels, _ = gaussian_blobs(n=2000, d=2, k=2,
+                                           weights=[0.9, 0.1], rng=2)
+        assert np.mean(labels == 0) > 0.7
+
+    def test_clustered_with_outliers(self):
+        points, is_outlier = clustered_with_outliers(n=500, d=2,
+                                                     outlier_fraction=0.2, rng=3)
+        assert points.shape == (500, 2)
+        assert int(np.count_nonzero(is_outlier)) == 100
+
+    def test_outliers_are_far_from_inliers(self):
+        points, is_outlier = clustered_with_outliers(n=500, d=2,
+                                                     outlier_fraction=0.1,
+                                                     cluster_spread=0.02, rng=4)
+        inlier_center = points[~is_outlier].mean(axis=0)
+        inlier_dist = np.linalg.norm(points[~is_outlier] - inlier_center, axis=1)
+        outlier_dist = np.linalg.norm(points[is_outlier] - inlier_center, axis=1)
+        assert np.median(outlier_dist) > 3 * np.median(inlier_dist)
+
+    def test_geospatial_hotspots(self):
+        points, centers = geospatial_hotspots(n=600, num_hotspots=3, rng=5)
+        assert points.shape == (600, 2)
+        assert centers.shape == (3, 2)
+        assert points.min() >= 0 and points.max() <= 1
+
+    def test_identical_points_cluster(self):
+        points = identical_points_cluster(n=200, d=2, cluster_size=120, rng=6)
+        values, counts = np.unique(points, axis=0, return_counts=True)
+        assert counts.max() == 120
+
+    def test_mixture_of_gaussians(self):
+        points, labels = mixture_of_gaussians(n=500, d=2,
+                                              means=[[0.2, 0.2], [0.8, 0.8]],
+                                              weights=[0.5, 0.5], rng=7)
+        assert points.shape == (500, 2)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_mixture_invalid_means(self):
+        with pytest.raises(ValueError):
+            mixture_of_gaussians(n=10, d=3, means=[[0.0, 0.0]])
+
+
+class TestAdversarialConfigurations:
+    def test_figure1_cross_has_empty_center_box(self):
+        points = figure1_cross_configuration(points_per_arm=300, rng=0)
+        assert points.shape == (600, 2)
+        # The per-axis heavy regions are around 0.1 and 0.9; their
+        # intersection boxes (0.1, 0.1) and (0.9, 0.9) hold no data.
+        near_corner = np.all(np.abs(points - 0.1) < 0.05, axis=1)
+        assert np.count_nonzero(near_corner) == 0
+
+    def test_figure2_cluster_straddles_boundary(self):
+        values, offset = figure2_interval_configuration(cluster_size=200, rng=1)
+        assert values.shape == (200, 1)
+        boundary = 0.5
+        assert np.any(values < boundary) and np.any(values > boundary)
+
+    def test_split_cluster_configuration(self):
+        points = split_cluster_configuration(target=50)
+        assert points.shape == (51, 1)
+        assert np.count_nonzero(points == 0.0) == 25
+        assert np.count_nonzero(points == 2.0) == 25
+        assert np.count_nonzero(points == 1.0) == 1

@@ -1,0 +1,150 @@
+"""Smoke tests for the experiment harness (small parameterisations).
+
+Every ``run_*`` experiment is executed at a reduced scale so the full
+benchmark harness is known to be runnable before the (longer)
+pytest-benchmark targets are invoked.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.delta_vs_epsilon import run_delta_vs_epsilon
+from repro.experiments.dimension_scaling import run_dimension_scaling
+from repro.experiments.figures import run_figure_configs
+from repro.experiments.good_center import run_good_center
+from repro.experiments.good_radius import run_good_radius
+from repro.experiments.harness import (
+    EvaluationRecord,
+    evaluate_result,
+    format_table,
+    summarise,
+)
+from repro.experiments.k_clustering import run_k_clustering
+from repro.experiments.lower_bound import run_lower_bound
+from repro.experiments.outliers import run_outliers
+from repro.experiments.radius_scaling import run_radius_scaling
+from repro.experiments.sample_aggregate import run_sample_aggregate
+from repro.experiments.table1 import run_table1
+from repro.accounting.params import PrivacyParams
+from repro.baselines.nonprivate import nonprivate_one_cluster
+from repro.core.one_cluster import one_cluster
+from repro.datasets.synthetic import planted_cluster
+
+
+class TestHarness:
+    def test_evaluate_result_against_reference(self):
+        data = planted_cluster(n=600, d=2, cluster_size=250, cluster_radius=0.05,
+                               center=[0.5, 0.5], rng=0)
+        result = one_cluster(data.points, 200, PrivacyParams(8.0, 1e-5), rng=1)
+        record = evaluate_result("this_work", data.points, 200, result, 0.1)
+        assert isinstance(record, EvaluationRecord)
+        assert record.reference_radius > 0
+        if record.found:
+            assert record.radius_ratio >= 0.0
+
+    def test_evaluate_unfound_result(self):
+        data = planted_cluster(n=300, d=2, cluster_size=120, cluster_radius=0.05,
+                               rng=1)
+        reference = nonprivate_one_cluster(data.points, 100)
+        from repro.core.types import GoodCenterResult, GoodRadiusResult, OneClusterResult
+
+        failed = OneClusterResult(
+            ball=None,
+            radius_result=GoodRadiusResult(radius=0.1, gamma=1.0),
+            center_result=GoodCenterResult(center=None, radius_bound=float("inf"),
+                                           attempts=1, projected_dimension=2),
+            target=100,
+        )
+        record = evaluate_result("failed", data.points, 100, failed, 0.0,
+                                 reference=reference)
+        assert not record.found
+        assert record.radius_ratio == float("inf")
+
+    def test_summarise(self):
+        records = [
+            EvaluationRecord("m", True, 5.0, 1.5, 0.1, 0.05, 0.01, 0.2),
+            EvaluationRecord("m", False, 100.0, float("inf"), float("inf"),
+                             0.05, float("nan"), 0.2),
+        ]
+        summary = summarise(records)
+        assert summary["success_rate"] == pytest.approx(0.5)
+        assert summary["mean_additive_loss"] == pytest.approx(5.0)
+
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.001}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+        assert len(text.splitlines()) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+
+class TestExperimentSmoke:
+    def test_table1(self):
+        rows = run_table1(n=400, dimension=2, epsilon=4.0, grid_side=9, rng=0)
+        methods = {row["method"] for row in rows}
+        assert "this_work" in methods
+        assert "nonprivate" in methods
+        assert "private_aggregation" in methods
+        assert "exponential_mechanism" in methods
+
+    def test_table1_includes_threshold_release_in_1d(self):
+        rows = run_table1(n=400, dimension=1, epsilon=4.0, grid_side=17, rng=1)
+        assert "threshold_release" in {row["method"] for row in rows}
+
+    def test_radius_scaling(self):
+        rows = run_radius_scaling(sizes=(300, 600), dimension=2, epsilon=4.0, rng=2)
+        assert len(rows) == 2
+        assert rows[0]["n"] == 300
+        assert rows[1]["theory_w"] > rows[0]["theory_w"]
+
+    def test_delta_vs_epsilon(self):
+        rows = run_delta_vs_epsilon(epsilons=(2.0, 8.0), n=400, dimension=2, rng=3)
+        assert len(rows) == 4
+        assert {row["radius_method"] for row in rows} == {"recconcave", "binary_search"}
+
+    def test_dimension_scaling(self):
+        rows = run_dimension_scaling(dimensions=(2, 4), n=400, epsilon=4.0, rng=4)
+        assert len(rows) == 4
+        assert {row["method"] for row in rows} == {"this_work", "private_aggregation"}
+
+    def test_k_clustering(self):
+        rows = run_k_clustering(k_values=(2,), n=600, epsilon=8.0, rng=5)
+        assert rows[0]["balls_found"] >= 0
+        assert 0.0 <= rows[0]["covered_fraction"] <= 1.0
+
+    def test_sample_aggregate(self):
+        rows = run_sample_aggregate(secondary_weights=(0.0,), n=1800,
+                                    block_size=60, epsilon=4.0, rng=6)
+        assert len(rows) == 2
+        assert {row["method"] for row in rows} == {
+            "one_cluster_aggregator", "noisy_average_aggregator"}
+
+    def test_lower_bound(self):
+        rows = run_lower_bound(domain_sizes=(2 ** 10,), m=200, epsilon=8.0,
+                               repetitions=2, rng=7)
+        assert rows[0]["success_rate"] >= 0.0
+        assert rows[0]["theory_min_samples"] > 0
+
+    def test_outliers(self):
+        rows = run_outliers(contamination_levels=(0.1,), n=600, epsilon=8.0, rng=8)
+        assert len(rows) == 1
+
+    def test_good_radius_experiment(self):
+        rows = run_good_radius(cluster_radii=(0.05,), n=500, dimension=2,
+                               epsilon=4.0, rng=9)
+        assert rows[0]["released_radius"] >= 0.0
+
+    def test_good_center_experiment(self):
+        rows = run_good_center(cluster_sizes=(300,), dimension=2, epsilon=8.0,
+                               rng=10)
+        assert len(rows) == 1
+
+    def test_figure_configs(self):
+        rows = run_figure_configs(epsilon=4.0, rng=11)
+        figures = {row["figure"] for row in rows}
+        assert figures == {"F1", "F2"}
+        f2 = next(row for row in rows if row["figure"] == "F2")
+        assert f2["extended_interval_capture"] >= f2["heavy_interval_capture"]
+        assert f2["extended_interval_capture"] == f2["cluster_size"]

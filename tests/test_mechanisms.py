@@ -1,0 +1,110 @@
+"""Tests for the primitive DP mechanisms (Laplace, Gaussian, exponential)."""
+
+import numpy as np
+import pytest
+
+from repro.accounting.params import PrivacyParams
+from repro.mechanisms.exponential import (
+    exponential_mechanism,
+    exponential_mechanism_utility_bound,
+    report_noisy_max,
+)
+from repro.mechanisms.gaussian import gaussian_mechanism, gaussian_sigma, gaussian_tail_bound
+from repro.mechanisms.laplace import (
+    laplace_counting_query,
+    laplace_interval_width,
+    laplace_mechanism,
+    laplace_noise,
+)
+
+
+class TestLaplace:
+    def test_scalar_shape(self):
+        value = laplace_mechanism(10.0, 1.0, PrivacyParams(1.0), rng=0)
+        assert isinstance(value, float)
+
+    def test_vector_shape(self):
+        values = laplace_mechanism(np.zeros(5), 1.0, PrivacyParams(1.0), rng=0)
+        assert values.shape == (5,)
+
+    def test_noise_scale_statistics(self):
+        noise = laplace_noise(2.0, size=20000, rng=0)
+        # Laplace(scale) has standard deviation scale * sqrt(2).
+        assert np.std(noise) == pytest.approx(2.0 * np.sqrt(2.0), rel=0.1)
+
+    def test_higher_epsilon_means_less_noise(self):
+        tight = [laplace_counting_query(100, PrivacyParams(10.0), rng=i)
+                 for i in range(200)]
+        loose = [laplace_counting_query(100, PrivacyParams(0.1), rng=i)
+                 for i in range(200)]
+        assert np.std(tight) < np.std(loose)
+
+    def test_invalid_sensitivity(self):
+        with pytest.raises(ValueError):
+            laplace_mechanism(1.0, 0.0, PrivacyParams(1.0))
+
+    def test_interval_width_monotone_in_beta(self):
+        assert laplace_interval_width(1.0, 0.01) > laplace_interval_width(1.0, 0.1)
+
+
+class TestGaussian:
+    def test_sigma_formula(self):
+        params = PrivacyParams(1.0, 1e-5)
+        sigma = gaussian_sigma(2.0, params)
+        assert sigma == pytest.approx(2.0 * np.sqrt(2 * np.log(1.25e5)), rel=1e-9)
+
+    def test_requires_positive_delta(self):
+        with pytest.raises(ValueError):
+            gaussian_sigma(1.0, PrivacyParams(1.0, 0.0))
+
+    def test_vector_release(self):
+        values = gaussian_mechanism(np.ones(8), 1.0, PrivacyParams(1.0, 1e-6), rng=0)
+        assert values.shape == (8,)
+
+    def test_noise_statistics(self):
+        params = PrivacyParams(1.0, 1e-6)
+        sigma = gaussian_sigma(1.0, params)
+        noise = gaussian_mechanism(np.zeros(20000), 1.0, params, rng=0)
+        assert np.std(noise) == pytest.approx(sigma, rel=0.05)
+
+    def test_tail_bound_positive(self):
+        assert gaussian_tail_bound(1.0, 0.05) > 0
+
+
+class TestExponentialMechanism:
+    def test_prefers_high_quality(self):
+        qualities = [0.0, 0.0, 50.0, 0.0]
+        picks = [exponential_mechanism(qualities, PrivacyParams(2.0), rng=i)
+                 for i in range(100)]
+        assert np.mean([pick == 2 for pick in picks]) > 0.9
+
+    def test_uniform_when_epsilon_tiny(self):
+        qualities = [0.0, 1.0]
+        picks = [exponential_mechanism(qualities, PrivacyParams(1e-6), rng=i)
+                 for i in range(400)]
+        fraction = np.mean([pick == 1 for pick in picks])
+        assert 0.35 < fraction < 0.65
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            exponential_mechanism([], PrivacyParams(1.0))
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            exponential_mechanism([1.0, np.inf], PrivacyParams(1.0))
+
+    def test_noisy_max_prefers_high_quality(self):
+        qualities = [0.0, 100.0, 0.0]
+        picks = [report_noisy_max(qualities, PrivacyParams(2.0), rng=i)
+                 for i in range(100)]
+        assert np.mean([pick == 1 for pick in picks]) > 0.95
+
+    def test_utility_bound_positive_and_monotone(self):
+        small = exponential_mechanism_utility_bound(10, PrivacyParams(1.0), 1.0, 0.1)
+        large = exponential_mechanism_utility_bound(10_000, PrivacyParams(1.0), 1.0, 0.1)
+        assert 0 < small < large
+
+    def test_handles_huge_score_range(self):
+        qualities = [0.0, 1e9]
+        pick = exponential_mechanism(qualities, PrivacyParams(1.0), rng=0)
+        assert pick == 1

@@ -1,0 +1,73 @@
+"""Tests for Algorithm NoisyAVG (Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.accounting.params import PrivacyParams
+from repro.mechanisms.noisy_average import noisy_average, noisy_average_error_bound
+
+
+class TestNoisyAverage:
+    def test_recovers_mean_with_many_points(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(0.5, 0.01, size=(3000, 3))
+        result = noisy_average(points, diameter=1.0,
+                               params=PrivacyParams(2.0, 1e-6), rng=1)
+        assert result.found
+        assert np.linalg.norm(result.value - 0.5) < 0.1
+
+    def test_abstains_on_tiny_selected_set(self):
+        points = np.zeros((3, 2))
+        result = noisy_average(points, diameter=1.0,
+                               params=PrivacyParams(0.5, 1e-8), rng=0)
+        assert not result.found
+        assert result.value is None
+
+    def test_predicate_filters_points(self):
+        inliers = np.full((2000, 2), 0.2)
+        outliers = np.full((500, 2), 5.0)
+        points = np.vstack([inliers, outliers])
+        result = noisy_average(
+            points, diameter=1.0, params=PrivacyParams(2.0, 1e-6),
+            predicate=lambda pts: np.linalg.norm(pts, axis=1) < 1.0, rng=0,
+        )
+        assert result.found
+        assert result.true_count == 2000
+        assert np.linalg.norm(result.value - 0.2) < 0.2
+
+    def test_center_recentring(self):
+        center = np.array([10.0, 10.0])
+        points = center + np.random.default_rng(0).normal(0, 0.01, size=(2000, 2))
+        result = noisy_average(points, diameter=1.0,
+                               params=PrivacyParams(2.0, 1e-6),
+                               center=center, rng=1)
+        assert result.found
+        assert np.linalg.norm(result.value - center) < 0.2
+
+    def test_requires_positive_delta(self):
+        with pytest.raises(ValueError):
+            noisy_average(np.zeros((10, 2)), 1.0, PrivacyParams(1.0, 0.0))
+
+    def test_requires_positive_diameter(self):
+        with pytest.raises(ValueError):
+            noisy_average(np.zeros((10, 2)), 0.0, PrivacyParams(1.0, 1e-6))
+
+    def test_bad_predicate_shape_rejected(self):
+        with pytest.raises(ValueError):
+            noisy_average(np.zeros((10, 2)), 1.0, PrivacyParams(1.0, 1e-6),
+                          predicate=lambda pts: np.ones(3, dtype=bool))
+
+    def test_noise_shrinks_with_count(self):
+        params = PrivacyParams(1.0, 1e-6)
+        small = noisy_average_error_bound(1.0, count=100, dimension=4,
+                                          params=params, beta=0.1)
+        large = noisy_average_error_bound(1.0, count=10_000, dimension=4,
+                                          params=params, beta=0.1)
+        assert large < small
+
+    def test_sigma_reported(self):
+        points = np.zeros((5000, 2))
+        result = noisy_average(points, diameter=1.0,
+                               params=PrivacyParams(1.0, 1e-6), rng=0)
+        assert result.found
+        assert result.sigma > 0

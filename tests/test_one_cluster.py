@@ -1,0 +1,136 @@
+"""Integration tests for the combined 1-cluster solver (Theorem 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.accounting.ledger import PrivacyLedger
+from repro.accounting.params import PrivacyParams
+from repro.core.config import OneClusterConfig
+from repro.core.one_cluster import one_cluster
+from repro.core.params import (
+    additive_loss_bound,
+    good_radius_gamma,
+    k_clustering_budget_bound,
+    minimum_cluster_size,
+    radius_approximation_factor,
+)
+from repro.datasets.synthetic import identical_points_cluster, planted_cluster
+from repro.geometry.grid import GridDomain
+
+
+class TestOneClusterIntegration:
+    def test_end_to_end_recovery(self, medium_cluster_data):
+        data = medium_cluster_data
+        params = PrivacyParams(8.0, 1e-5)
+        result = one_cluster(data.points, target=400, params=params, rng=0)
+        assert result.found
+        error = np.linalg.norm(result.ball.center - data.true_ball.center)
+        assert error <= 0.3
+        assert result.effective_radius(data.points) <= 0.4
+
+    def test_radius_phase_feeds_center_phase(self, medium_cluster_data):
+        data = medium_cluster_data
+        params = PrivacyParams(8.0, 1e-5)
+        result = one_cluster(data.points, target=400, params=params, rng=1)
+        assert result.radius_result.radius > 0
+        assert result.center_result.found
+        assert result.ball.radius == result.center_result.radius_bound
+
+    def test_zero_radius_cluster(self):
+        points = identical_points_cluster(n=600, d=2, cluster_size=450, rng=0)
+        params = PrivacyParams(8.0, 1e-5)
+        result = one_cluster(points, target=350, params=params, rng=1)
+        assert result.found
+        assert result.radius_result.zero_cluster
+        assert result.ball.radius == 0.0
+        # The released centre must coincide with the repeated point.
+        assert result.ball.count(points, slack=1e-9) >= 350
+
+    def test_minority_cluster(self):
+        """The headline capability: the cluster holds well under half the data."""
+        data = planted_cluster(n=1500, d=2, cluster_size=450,
+                               cluster_radius=0.04, center=[0.3, 0.7], rng=5)
+        params = PrivacyParams(8.0, 1e-5)
+        result = one_cluster(data.points, target=350, params=params, rng=2)
+        assert result.found
+        error = np.linalg.norm(result.ball.center - data.true_ball.center)
+        assert error <= 0.3
+
+    def test_coverage_helper(self, medium_cluster_data):
+        params = PrivacyParams(8.0, 1e-5)
+        result = one_cluster(medium_cluster_data.points, target=400,
+                             params=params, rng=3)
+        assert result.coverage(medium_cluster_data.points) >= 0
+
+    def test_found_false_handled(self, small_cluster_data):
+        params = PrivacyParams(0.01, 1e-9)
+        result = one_cluster(small_cluster_data.points, target=200,
+                             params=params, rng=0)
+        if not result.found:
+            assert result.ball is None
+            assert result.effective_radius(small_cluster_data.points) == float("inf")
+            assert result.coverage(small_cluster_data.points) == 0
+
+    def test_target_validation(self, small_cluster_data):
+        with pytest.raises(ValueError):
+            one_cluster(small_cluster_data.points, target=10 ** 6,
+                        params=PrivacyParams(1.0, 1e-6))
+
+    def test_ledger_total_within_budget(self, medium_cluster_data):
+        params = PrivacyParams(4.0, 1e-6)
+        ledger = PrivacyLedger()
+        one_cluster(medium_cluster_data.points, target=400, params=params,
+                    rng=4, ledger=ledger)
+        total = ledger.total_basic()
+        assert total is not None
+        assert total.epsilon <= params.epsilon + 1e-9
+        assert total.delta <= params.delta + 1e-12
+
+    def test_custom_budget_fraction(self, medium_cluster_data):
+        config = OneClusterConfig(radius_budget_fraction=0.6)
+        params = PrivacyParams(8.0, 1e-5)
+        result = one_cluster(medium_cluster_data.points, target=400,
+                             params=params, config=config, rng=5)
+        assert result.radius_result.radius >= 0
+
+    def test_deterministic_with_seed(self, medium_cluster_data):
+        params = PrivacyParams(8.0, 1e-5)
+        a = one_cluster(medium_cluster_data.points, 400, params, rng=11)
+        b = one_cluster(medium_cluster_data.points, 400, params, rng=11)
+        assert a.found == b.found
+        if a.found:
+            assert np.allclose(a.ball.center, b.ball.center)
+
+    def test_explicit_domain(self, small_cluster_data):
+        domain = GridDomain.unit_cube(dimension=2, side=129)
+        params = PrivacyParams(8.0, 1e-5)
+        result = one_cluster(small_cluster_data.points, target=200,
+                             params=params, domain=domain, rng=6)
+        assert result.radius_result.radius <= domain.diameter
+
+
+class TestTheoremParameterFormulas:
+    def test_minimum_cluster_size_scaling(self):
+        params = PrivacyParams(1.0, 1e-6)
+        low_d = minimum_cluster_size(GridDomain.unit_cube(2, 1025), params, 0.1, 1000)
+        high_d = minimum_cluster_size(GridDomain.unit_cube(32, 1025), params, 0.1, 1000)
+        assert high_d > low_d
+
+    def test_additive_loss_scaling_in_epsilon(self):
+        domain = GridDomain.unit_cube(2, 1025)
+        loose = additive_loss_bound(domain, PrivacyParams(4.0, 1e-6), 0.1, 1000)
+        tight = additive_loss_bound(domain, PrivacyParams(0.5, 1e-6), 0.1, 1000)
+        assert tight > loose
+
+    def test_radius_factor_sqrt_log_n(self):
+        assert radius_approximation_factor(10 ** 6) == pytest.approx(
+            np.sqrt(np.log(10 ** 6)))
+
+    def test_gamma_positive_and_grows_with_domain(self):
+        params = PrivacyParams(1.0, 1e-6)
+        small = good_radius_gamma(GridDomain.unit_cube(2, 5), params, 0.1)
+        large = good_radius_gamma(GridDomain.unit_cube(2, 2 ** 20), params, 0.1)
+        assert 0 < small <= large
+
+    def test_k_clustering_bound(self):
+        assert k_clustering_budget_bound(10_000, 4, PrivacyParams(1.0)) > 1

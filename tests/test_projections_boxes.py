@@ -1,0 +1,177 @@
+"""Tests for JL projection, random rotations, and box partitions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.boxes import AxisIntervalPartition, Box, ShiftedBoxPartition
+from repro.geometry.jl import (
+    JohnsonLindenstrauss,
+    jl_distortion_failure_probability,
+    jl_target_dimension,
+)
+from repro.geometry.rotation import (
+    project_onto_basis,
+    random_orthonormal_basis,
+    rotated_projection_spread_bound,
+)
+
+
+class TestJohnsonLindenstrauss:
+    def test_target_dimension_grows_with_n(self):
+        assert jl_target_dimension(10_000) > jl_target_dimension(100)
+
+    def test_projection_shape(self):
+        projection = JohnsonLindenstrauss(input_dimension=50, output_dimension=10, rng=0)
+        points = np.random.default_rng(1).normal(size=(20, 50))
+        assert projection.project(points).shape == (20, 10)
+
+    def test_distance_preservation_statistically(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(50, 200))
+        projection = JohnsonLindenstrauss(input_dimension=200, output_dimension=60, rng=3)
+        projected = projection(points)
+        original = np.linalg.norm(points[0] - points[1:], axis=1)
+        mapped = np.linalg.norm(projected[0] - projected[1:], axis=1)
+        ratios = mapped / original
+        assert 0.6 < np.median(ratios) < 1.4
+
+    def test_for_points_caps_at_ambient_dimension(self):
+        points = np.random.default_rng(0).normal(size=(1000, 5))
+        projection = JohnsonLindenstrauss.for_points(points, rng=0)
+        assert projection.output_dimension <= 5
+
+    def test_failure_probability_decreases_with_k(self):
+        assert (jl_distortion_failure_probability(100, 200)
+                < jl_distortion_failure_probability(100, 20))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            JohnsonLindenstrauss(input_dimension=0, output_dimension=5)
+
+
+class TestRotation:
+    def test_basis_is_orthonormal(self):
+        basis = random_orthonormal_basis(8, rng=0)
+        assert np.allclose(basis @ basis.T, np.eye(8), atol=1e-9)
+
+    def test_projection_preserves_norms(self):
+        basis = random_orthonormal_basis(6, rng=1)
+        points = np.random.default_rng(2).normal(size=(30, 6))
+        rotated = project_onto_basis(points, basis)
+        assert np.allclose(np.linalg.norm(points, axis=1),
+                           np.linalg.norm(rotated, axis=1), atol=1e-9)
+
+    def test_rotation_roundtrip(self):
+        basis = random_orthonormal_basis(4, rng=3)
+        points = np.random.default_rng(4).normal(size=(10, 4))
+        rotated = project_onto_basis(points, basis)
+        restored = rotated @ basis
+        assert np.allclose(points, restored, atol=1e-9)
+
+    def test_spread_bound_shrinks_with_dimension(self):
+        low_d = rotated_projection_spread_bound(1.0, 4, 100, 0.1)
+        high_d = rotated_projection_spread_bound(1.0, 400, 100, 0.1)
+        assert high_d < low_d
+
+    def test_lemma_49_empirically(self):
+        """Random rotation spreads a fixed pair's difference across axes."""
+        dimension = 200
+        x = np.zeros(dimension)
+        y = np.zeros(dimension)
+        y[0] = 1.0  # difference concentrated on one axis
+        bound = rotated_projection_spread_bound(1.0, dimension, 2, beta=0.05)
+        violations = 0
+        for seed in range(20):
+            basis = random_orthonormal_basis(dimension, rng=seed)
+            projections = np.abs(project_onto_basis((x - y).reshape(1, -1), basis))
+            if projections.max() > bound:
+                violations += 1
+        assert violations <= 2
+
+
+class TestBox:
+    def test_contains_and_diameter(self):
+        box = Box(lower=np.array([0.0, 0.0]), upper=np.array([1.0, 2.0]))
+        assert box.diameter == pytest.approx(np.sqrt(5.0))
+        assert box.contains(np.array([[0.5, 1.0], [1.5, 1.0]])).tolist() == [True, False]
+        assert np.allclose(box.center, [0.5, 1.0])
+
+    def test_expanded(self):
+        box = Box(lower=np.zeros(2), upper=np.ones(2)).expanded(0.5)
+        assert np.allclose(box.lower, [-0.5, -0.5])
+        assert np.allclose(box.upper, [1.5, 1.5])
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Box(lower=np.array([1.0]), upper=np.array([0.0]))
+
+
+class TestShiftedBoxPartition:
+    def test_labels_are_consistent_with_boxes(self):
+        partition = ShiftedBoxPartition(dimension=2, width=0.3, rng=0)
+        points = np.random.default_rng(1).uniform(size=(50, 2))
+        labels = partition.labels(points)
+        for point, label in zip(points, labels):
+            box = partition.box_for_label(label)
+            assert box.contains(point.reshape(1, -1))[0]
+
+    def test_heaviest_cell_counts_cluster(self):
+        cluster = np.full((100, 2), 0.5) + np.random.default_rng(0).normal(0, 0.001, (100, 2))
+        partition = ShiftedBoxPartition(dimension=2, width=0.5, rng=1)
+        assert partition.heaviest_cell_count(cluster) >= 50
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=6),
+           st.floats(min_value=0.05, max_value=0.5),
+           st.integers(min_value=0, max_value=10 ** 6))
+    def test_capture_probability_bound(self, dimension, diameter, seed):
+        """A set of the given diameter is captured by one box at least as often
+        as the analytical lower bound predicts (statistically)."""
+        width = 1.0
+        partition_probability = ShiftedBoxPartition(
+            dimension=dimension, width=width, rng=0
+        ).cluster_capture_probability(diameter)
+        rng = np.random.default_rng(seed)
+        base = rng.uniform(0, 3, size=dimension)
+        # Two antipodal points at the stated diameter: the worst case set.
+        points = np.vstack([base, base + diameter / np.sqrt(dimension)])
+        captures = 0
+        trials = 60
+        for trial in range(trials):
+            partition = ShiftedBoxPartition(dimension=dimension, width=width,
+                                            rng=1000 + trial)
+            labels = partition.labels(points)
+            captures += int(labels[0] == labels[1])
+        observed = captures / trials
+        assert observed >= partition_probability - 0.25
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            ShiftedBoxPartition(dimension=2, width=0.0)
+
+
+class TestAxisIntervalPartition:
+    def test_labels_and_intervals(self):
+        partition = AxisIntervalPartition(width=0.5)
+        labels = partition.labels(np.array([0.1, 0.6, -0.2]))
+        assert labels.tolist() == [0, 1, -1]
+        assert partition.interval(1) == (0.5, 1.0)
+
+    def test_extended_interval_covers_neighbours(self):
+        partition = AxisIntervalPartition(width=1.0, offset=0.25)
+        low, high = partition.extended_interval(0)
+        assert low == pytest.approx(-0.75)
+        assert high == pytest.approx(2.25)
+
+    def test_figure2_extension_captures_cluster(self):
+        """Paper Figure 2: a heavy interval of length r extended by r on each
+        side captures the whole diameter-r cluster."""
+        rng = np.random.default_rng(0)
+        cluster = rng.uniform(0.47, 0.53, size=300)  # diameter <= 0.06
+        partition = AxisIntervalPartition(width=0.06)
+        labels = partition.labels(cluster)
+        values, counts = np.unique(labels, return_counts=True)
+        heavy = int(values[np.argmax(counts)])
+        low, high = partition.extended_interval(heavy)
+        assert np.all((cluster >= low) & (cluster < high))

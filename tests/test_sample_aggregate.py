@@ -1,0 +1,144 @@
+"""Tests for the sample-and-aggregate framework (Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.accounting.params import PrivacyParams
+from repro.datasets.synthetic import mixture_of_gaussians
+from repro.sample_aggregate.aggregators import (
+    noisy_average_aggregator,
+    one_cluster_aggregator,
+)
+from repro.sample_aggregate.applications import (
+    private_gmm_center_estimator,
+    private_mean_estimator,
+    private_median_estimator,
+)
+from repro.sample_aggregate.framework import sa_minimum_database_size, sample_and_aggregate
+from repro.sample_aggregate.stability import empirical_stability
+
+
+@pytest.fixture
+def gaussian_data():
+    rng = np.random.default_rng(0)
+    return rng.normal(loc=[0.4, 0.6], scale=0.05, size=(6000, 2))
+
+
+class TestFramework:
+    def test_mean_estimation_recovers_population_mean(self, gaussian_data):
+        params = PrivacyParams(12.0, 1e-4)
+        result = private_mean_estimator(gaussian_data, block_size=10,
+                                        params=params, alpha=0.8,
+                                        subsample_fraction=1.0 / 3.0, rng=1)
+        assert result.found
+        assert np.linalg.norm(result.point - np.array([0.4, 0.6])) <= 0.3
+
+    def test_block_accounting(self, gaussian_data):
+        params = PrivacyParams(8.0, 1e-5)
+        result = private_mean_estimator(gaussian_data, block_size=50,
+                                        params=params, rng=2)
+        assert result.block_size == 50
+        assert result.num_blocks >= 10
+        assert result.target >= 1
+
+    def test_diagnostics_collected_on_request(self, gaussian_data):
+        params = PrivacyParams(8.0, 1e-5)
+        result = private_mean_estimator(gaussian_data, block_size=50,
+                                        params=params, rng=3,
+                                        collect_diagnostics=True)
+        assert result.aggregate_values is not None
+        assert result.aggregate_values.shape[1] == 2
+
+    def test_amplified_params_reported(self, gaussian_data):
+        params = PrivacyParams(0.5, 1e-6)
+        result = private_mean_estimator(gaussian_data, block_size=50,
+                                        params=params, rng=4)
+        assert result.amplified_params.epsilon <= params.epsilon
+
+    def test_requires_enough_rows_for_one_block(self):
+        data = np.zeros((20, 2))
+        with pytest.raises(ValueError):
+            sample_and_aggregate(data, lambda block: block.mean(axis=0),
+                                 block_size=500, params=PrivacyParams(1.0, 1e-6))
+
+    def test_minimum_database_size_formula(self):
+        assert sa_minimum_database_size(block_size=10, alpha=0.5, beta=0.1,
+                                        t_min=100) > 0
+
+    def test_median_estimator(self, gaussian_data):
+        params = PrivacyParams(12.0, 1e-4)
+        result = private_median_estimator(gaussian_data, block_size=10,
+                                          params=params, alpha=0.8,
+                                          subsample_fraction=1.0 / 3.0, rng=5)
+        assert result.found
+        assert np.linalg.norm(result.point - np.array([0.4, 0.6])) <= 0.3
+
+
+class TestAggregators:
+    def test_one_cluster_aggregator_on_clustered_outputs(self):
+        rng = np.random.default_rng(0)
+        values = np.vstack([
+            rng.normal(0.3, 0.01, size=(80, 2)),
+            rng.uniform(0, 1, size=(20, 2)),
+        ])
+        aggregator = one_cluster_aggregator()
+        point, _ = aggregator(values, 60, PrivacyParams(8.0, 1e-5), 0.1, 1, None)
+        assert point is not None
+        assert np.linalg.norm(point - 0.3) <= 0.3
+
+    def test_noisy_average_aggregator_clips(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(0.5, 0.01, size=(200, 2))
+        aggregator = noisy_average_aggregator(clip_radius=1.0,
+                                              center=np.array([0.5, 0.5]))
+        point, _ = aggregator(values, 100, PrivacyParams(8.0, 1e-5), 0.1, 2, None)
+        assert point is not None
+        assert np.linalg.norm(point - 0.5) <= 0.5
+
+    def test_noisy_average_aggregator_invalid_radius(self):
+        with pytest.raises(ValueError):
+            noisy_average_aggregator(clip_radius=0.0)
+
+
+class TestGmmApplication:
+    def test_recovers_dominant_component(self):
+        points, _ = mixture_of_gaussians(
+            n=12000, d=2, means=[[0.3, 0.3], [0.8, 0.8]], stddev=0.04,
+            weights=[0.8, 0.2], rng=0,
+        )
+        params = PrivacyParams(12.0, 1e-4)
+        result = private_gmm_center_estimator(points, block_size=40,
+                                              params=params, alpha=0.8,
+                                              subsample_fraction=1.0 / 3.0, rng=1)
+        assert result.found
+        assert np.linalg.norm(result.point - np.array([0.3, 0.3])) <= 0.3
+
+    def test_invalid_arguments(self):
+        points = np.zeros((100, 2))
+        with pytest.raises(ValueError):
+            private_gmm_center_estimator(points, 10, PrivacyParams(1.0, 1e-6),
+                                         num_components=0)
+
+
+class TestStability:
+    def test_empirical_stability_of_sample_mean(self, gaussian_data):
+        estimate = empirical_stability(
+            gaussian_data, lambda block: block.mean(axis=0),
+            candidate=np.array([0.4, 0.6]), block_size=50, radius=0.05,
+            repetitions=60, rng=0,
+        )
+        assert estimate.probability >= 0.9
+
+    def test_radius_for_probability(self, gaussian_data):
+        estimate = empirical_stability(
+            gaussian_data, lambda block: block.mean(axis=0),
+            candidate=np.array([0.4, 0.6]), block_size=50, radius=0.05,
+            repetitions=60, rng=1,
+        )
+        assert estimate.radius_for_probability(0.5) <= estimate.radius_for_probability(0.95)
+
+    def test_invalid_radius(self, gaussian_data):
+        with pytest.raises(ValueError):
+            empirical_stability(gaussian_data, lambda block: block.mean(axis=0),
+                                candidate=np.zeros(2), block_size=10,
+                                radius=-1.0)
