@@ -1,0 +1,135 @@
+"""Smoke benchmark comparing neighbor backends on the GoodRadius hot path.
+
+For each ``n`` the benchmark times the workload that dominates ``good_radius``
+— evaluating the capped-average score ``L(r, S)`` over the full candidate
+radius grid — under every backend, plus a faithful replica of the *seed*
+implementation (Gram-matrix pairwise distances, full row sort, per-row Python
+``searchsorted`` loop) as the reference the speedups are measured against.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py
+    PYTHONPATH=src python benchmarks/bench_backends.py --sizes 1000 5000 20000 \
+        --seed-max 5000          # skip the O(n^2)-memory seed path at 20k
+    PYTHONPATH=src python benchmarks/bench_backends.py --end-to-end
+
+``--end-to-end`` additionally runs the private ``good_radius`` release itself
+per backend, demonstrating the n = 20k, d = 2 case that was out of reach for
+the seed's dense matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.accounting.params import PrivacyParams
+from repro.core.good_radius import good_radius
+from repro.datasets.synthetic import planted_cluster
+from repro.experiments.harness import format_table
+from repro.geometry.balls import pairwise_distances
+from repro.geometry.grid import GridDomain
+from repro.neighbors import BACKENDS, auto_backend
+
+DIMENSION = 2
+
+
+def seed_dense_profile(points: np.ndarray, radii: np.ndarray,
+                       target: int) -> np.ndarray:
+    """The seed RadiusScore path, verbatim in spirit: full sorted Gram-matrix
+    distances + per-row Python searchsorted loop, chunked over radii."""
+    n = points.shape[0]
+    sorted_distances = np.sort(pairwise_distances(points), axis=1)
+    result = np.empty(radii.shape[0])
+    for start in range(0, radii.shape[0], 1024):
+        chunk = radii[start:start + 1024]
+        counts = np.empty((n, chunk.shape[0]))
+        for row in range(n):
+            counts[row] = np.searchsorted(sorted_distances[row], chunk,
+                                          side="right")
+        np.minimum(counts, target, out=counts)
+        counts[:, chunk < 0] = 0.0
+        top = counts if target == n else np.partition(
+            counts, n - target, axis=0)[n - target:, :]
+        result[start:start + 1024] = top.mean(axis=0)
+    return result
+
+
+def bench_one(n: int, seed_max: int, end_to_end: bool, rng_seed: int) -> list:
+    target = max(100, n // 50)
+    data = planted_cluster(n=n, d=DIMENSION, cluster_size=2 * target,
+                           cluster_radius=0.05, rng=rng_seed)
+    points = data.points
+    domain = GridDomain(dimension=DIMENSION, side=1025,
+                        low=float(np.floor(points.min())),
+                        high=float(np.ceil(points.max())))
+    radii = domain.candidate_radii()
+    params = PrivacyParams(2.0, 1e-6)
+    rows = []
+
+    baseline_seconds = None
+    if n <= seed_max:
+        start = time.perf_counter()
+        reference = seed_dense_profile(points, radii, target)
+        baseline_seconds = time.perf_counter() - start
+        rows.append({"n": n, "t": target, "backend": "seed_dense",
+                     "profile_s": baseline_seconds, "speedup": 1.0,
+                     "auto_pick": ""})
+    else:
+        reference = None
+        rows.append({"n": n, "t": target, "backend": "seed_dense",
+                     "profile_s": float("nan"), "speedup": float("nan"),
+                     "auto_pick": "(skipped: --seed-max)"})
+
+    auto_pick = auto_backend(n, DIMENSION)
+    for name, factory in BACKENDS.items():
+        start = time.perf_counter()
+        backend = factory(points)
+        profile = backend.capped_average_scores(radii, target)
+        seconds = time.perf_counter() - start
+        if reference is not None:
+            assert np.allclose(profile, reference, atol=1e-9), (
+                f"{name} disagrees with the seed path at n={n}"
+            )
+        row = {"n": n, "t": target, "backend": name, "profile_s": seconds,
+               "speedup": (baseline_seconds / seconds
+                           if baseline_seconds else float("nan")),
+               "auto_pick": "*" if name == auto_pick else ""}
+        if end_to_end:
+            start = time.perf_counter()
+            result = good_radius(points, target, params, rng=0, backend=name)
+            row["good_radius_s"] = time.perf_counter() - start
+            row["released_radius"] = result.radius
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[1000, 5000, 20000])
+    parser.add_argument("--seed-max", type=int, default=20000,
+                        help="largest n at which the O(n^2)-memory seed "
+                             "reference is run (lower this on small machines)")
+    parser.add_argument("--end-to-end", action="store_true",
+                        help="also time the full private good_radius release")
+    parser.add_argument("--rng", type=int, default=0)
+    args = parser.parse_args()
+
+    all_rows = []
+    for n in args.sizes:
+        print(f"benchmarking n={n} ...", flush=True)
+        all_rows.extend(bench_one(n, args.seed_max, args.end_to_end, args.rng))
+    print()
+    columns = ["n", "t", "backend", "profile_s", "speedup", "auto_pick"]
+    if args.end_to_end:
+        columns[-1:-1] = ["good_radius_s", "released_radius"]
+    print(format_table(all_rows, columns=columns))
+    print("\n(* = auto_backend's pick at that size; speedup is vs the seed "
+          "dense Gram+sort+row-loop path on the same radius grid)")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,14 @@ from repro.core import (
 )
 from repro.geometry import Ball, GridDomain
 from repro.clustering import k_cluster, outlier_ball, OutlierScreen
+from repro.neighbors import (
+    NeighborBackend,
+    DenseBackend,
+    ChunkedBackend,
+    TreeBackend,
+    auto_backend,
+    resolve_backend,
+)
 from repro.sample_aggregate import sample_and_aggregate, StablePointResult
 
 __version__ = "1.0.0"
@@ -52,6 +60,12 @@ __all__ = [
     "GoodCenterConfig",
     "Ball",
     "GridDomain",
+    "NeighborBackend",
+    "DenseBackend",
+    "ChunkedBackend",
+    "TreeBackend",
+    "auto_backend",
+    "resolve_backend",
     "k_cluster",
     "outlier_ball",
     "OutlierScreen",

@@ -28,6 +28,7 @@ from repro.core.types import GoodCenterResult, GoodRadiusResult, OneClusterResul
 from repro.geometry.balls import Ball
 from repro.geometry.grid import GridDomain
 from repro.mechanisms.exponential import report_noisy_max
+from repro.neighbors import HAVE_SCIPY_TREE, BackendLike, resolve_backend
 from repro.quasiconcave.binary_search import noisy_binary_search
 from repro.quasiconcave.quality import CallableQuality
 from repro.utils.rng import RngLike, spawn_generators
@@ -52,7 +53,8 @@ def _grid_centers(domain: GridDomain) -> np.ndarray:
 
 def exponential_mechanism_cluster(points, target: int, params: PrivacyParams,
                                   domain: GridDomain, beta: float = 0.1,
-                                  rng: RngLike = None) -> OneClusterResult:
+                                  rng: RngLike = None,
+                                  backend: BackendLike = None) -> OneClusterResult:
     """Solve the 1-cluster problem with the exponential mechanism.
 
     The budget is split evenly between the radius binary search and the
@@ -72,6 +74,10 @@ def exponential_mechanism_cluster(points, target: int, params: PrivacyParams,
         Failure probability (only used for reporting bounds).
     rng:
         Seed or generator.
+    backend:
+        Neighbor-backend selection for the per-centre capture counts (the
+        former implementation materialised the full ``(|X|^d, n)`` distance
+        matrix; backends answer the same counts without it).
     """
     points = check_points(points, dimension=domain.dimension)
     target = check_integer(target, "target", minimum=1)
@@ -82,20 +88,19 @@ def exponential_mechanism_cluster(points, target: int, params: PrivacyParams,
 
     centers = _grid_centers(domain)
     candidate_radii = domain.candidate_radii()
-
-    def count_max_at_radius(radius: float) -> float:
-        """max over candidate centres of the number of points captured."""
-        distances = np.linalg.norm(points[None, :, :] - centers[:, None, :], axis=2)
-        return float(np.max(np.count_nonzero(distances <= radius, axis=1)))
+    if backend is None:
+        # This baseline's load is the |X|^d candidate centres, not the n data
+        # points auto_backend keys on, so default to the tree: each probed
+        # radius is one batched query over all centres.
+        backend = "tree" if HAVE_SCIPY_TREE else "chunked"
+    neighbor_backend = resolve_backend(points, backend)
 
     # Binary search for the smallest radius capturing ~t points at some
     # centre.  The max-count score has sensitivity 1 in the database.
-    distances_all = np.linalg.norm(points[None, :, :] - centers[:, None, :], axis=2)
-
     def batch_scores(indices: np.ndarray) -> np.ndarray:
         radii = candidate_radii[np.asarray(indices, dtype=np.int64)]
         return np.array([
-            float(np.max(np.count_nonzero(distances_all <= radius, axis=1)))
+            float(neighbor_backend.query_radius_counts(centers, float(radius)).max())
             for radius in radii
         ])
 
@@ -109,7 +114,7 @@ def exponential_mechanism_cluster(points, target: int, params: PrivacyParams,
     radius = float(candidate_radii[search.index])
 
     # Exponential mechanism over candidate centres at that radius.
-    counts = np.count_nonzero(distances_all <= radius, axis=1).astype(float)
+    counts = neighbor_backend.query_radius_counts(centers, radius).astype(float)
     chosen = report_noisy_max(counts, half, sensitivity=1.0, rng=center_rng)
     center = centers[chosen]
 

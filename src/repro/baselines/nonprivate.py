@@ -12,16 +12,20 @@ import numpy as np
 from repro.core.types import GoodCenterResult, GoodRadiusResult, OneClusterResult
 from repro.geometry.balls import Ball
 from repro.geometry.minimal_ball import smallest_ball_exact_1d, smallest_ball_two_approx
+from repro.neighbors import BackendLike
 from repro.utils.validation import check_integer, check_points
 
 
-def nonprivate_one_cluster(points, target: int) -> OneClusterResult:
+def nonprivate_one_cluster(points, target: int,
+                           backend: BackendLike = None) -> OneClusterResult:
     """Solve the 1-cluster problem without privacy.
 
     In one dimension the result is exact; in higher dimensions it is the
     classical factor-2 approximation (smallest ball centred at an input
     point).  The result is wrapped in the same :class:`OneClusterResult`
     type as the private solvers so harness code can treat them uniformly.
+    ``backend`` selects the neighbor backend answering the ``k``-th-nearest
+    distance queries of the 2-approximation.
     """
     points = check_points(points)
     target = check_integer(target, "target", minimum=1)
@@ -30,7 +34,7 @@ def nonprivate_one_cluster(points, target: int) -> OneClusterResult:
     if points.shape[1] == 1:
         ball = smallest_ball_exact_1d(points[:, 0], target)
     else:
-        ball = smallest_ball_two_approx(points, target)
+        ball = smallest_ball_two_approx(points, target, backend=backend)
     radius_result = GoodRadiusResult(radius=ball.radius, gamma=0.0,
                                      score=float(target), zero_cluster=ball.radius == 0.0,
                                      method="nonprivate")

@@ -27,6 +27,7 @@ from repro.core.one_cluster import one_cluster
 from repro.core.types import OneClusterResult
 from repro.geometry.balls import Ball
 from repro.geometry.grid import GridDomain
+from repro.neighbors import BackendLike, NeighborBackend
 from repro.utils.rng import RngLike, spawn_generators
 from repro.utils.validation import check_integer, check_points, check_probability
 
@@ -62,7 +63,8 @@ def k_cluster(points, k: int, params: PrivacyParams, target: Optional[int] = Non
               domain: Optional[GridDomain] = None,
               config: Optional[OneClusterConfig] = None,
               rng: RngLike = None,
-              ledger: Optional[PrivacyLedger] = None) -> KClusterResult:
+              ledger: Optional[PrivacyLedger] = None,
+              backend: BackendLike = None) -> KClusterResult:
     """Cover the data with (at most) ``k`` balls via iterated 1-cluster calls.
 
     Parameters
@@ -86,6 +88,10 @@ def k_cluster(points, k: int, params: PrivacyParams, target: Optional[int] = Non
         iteration practical when the guaranteed radius bound is very loose.
     domain, config, rng, ledger:
         As in :func:`~repro.core.one_cluster.one_cluster`.
+    backend:
+        Neighbor-backend selection forwarded to every iteration.  Pass a name
+        or class (not an instance): the point set shrinks between iterations,
+        so each call must index its own remaining points.
 
     Returns
     -------
@@ -94,6 +100,13 @@ def k_cluster(points, k: int, params: PrivacyParams, target: Optional[int] = Non
     points = check_points(points)
     check_integer(k, "k", minimum=1)
     beta = check_probability(beta, "beta")
+    if isinstance(backend, NeighborBackend):
+        # Fail eagerly: the point set shrinks between iterations, so a fixed
+        # instance would only error mid-run after budget has been spent.
+        raise ValueError(
+            "k_cluster removes covered points between iterations; pass a "
+            "backend name or class, not a prebuilt instance"
+        )
     n = points.shape[0]
     if target is None:
         target = max(1, n // (2 * k))
@@ -112,7 +125,8 @@ def k_cluster(points, k: int, params: PrivacyParams, target: Optional[int] = Non
             break
         result = one_cluster(remaining, target, per_round, beta=beta,
                              domain=domain, config=config,
-                             rng=rngs[round_index], ledger=ledger)
+                             rng=rngs[round_index], ledger=ledger,
+                             backend=backend)
         results.append(result)
         if not result.found:
             continue

@@ -21,6 +21,7 @@ from repro.core.one_cluster import one_cluster
 from repro.core.types import OneClusterResult
 from repro.geometry.balls import Ball
 from repro.geometry.grid import GridDomain
+from repro.neighbors import BackendLike
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_points, check_probability
 
@@ -70,7 +71,8 @@ def outlier_ball(points, params: PrivacyParams, inlier_fraction: float = 0.9,
                  domain: Optional[GridDomain] = None,
                  config: Optional[OneClusterConfig] = None,
                  rng: RngLike = None,
-                 ledger: Optional[PrivacyLedger] = None) -> OutlierScreen:
+                 ledger: Optional[PrivacyLedger] = None,
+                 backend: BackendLike = None) -> OutlierScreen:
     """Release a ball capturing roughly ``inlier_fraction`` of the data.
 
     Parameters
@@ -93,6 +95,8 @@ def outlier_ball(points, params: PrivacyParams, inlier_fraction: float = 0.9,
         Multiplier applied to the GoodRadius radius in ``"effective"`` mode.
     domain, config, rng, ledger:
         As in :func:`~repro.core.one_cluster.one_cluster`.
+    backend:
+        Neighbor-backend selection forwarded to the 1-cluster call.
     """
     points = check_points(points)
     check_probability(inlier_fraction, "inlier_fraction")
@@ -101,7 +105,7 @@ def outlier_ball(points, params: PrivacyParams, inlier_fraction: float = 0.9,
     n = points.shape[0]
     target = max(1, int(round(inlier_fraction * n)))
     result = one_cluster(points, target, params, beta=beta, domain=domain,
-                         config=config, rng=rng, ledger=ledger)
+                         config=config, rng=rng, ledger=ledger, backend=backend)
     if not result.found:
         return OutlierScreen(ball=None, result=result,
                              inlier_fraction_target=inlier_fraction)

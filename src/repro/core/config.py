@@ -216,6 +216,11 @@ class OneClusterConfig:
         The ``|X|`` used when no explicit :class:`~repro.geometry.grid.GridDomain`
         is supplied (the data's bounding box is quantised with this many grid
         points per axis).
+    neighbor_backend:
+        Which :mod:`repro.neighbors` strategy answers the distance queries:
+        ``"auto"`` (default; picks by workload size), ``"dense"``,
+        ``"chunked"``, or ``"tree"``.  Affects performance only — every
+        backend returns identical counts and scores.
     """
 
     center: GoodCenterConfig = field(default_factory=GoodCenterConfig.practical)
@@ -223,6 +228,7 @@ class OneClusterConfig:
     paper_constants: bool = False
     radius_budget_fraction: float = 0.35
     grid_side: int = 1025
+    neighbor_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.radius_method not in ("recconcave", "binary_search"):
@@ -234,6 +240,14 @@ class OneClusterConfig:
             raise ValueError("radius_budget_fraction must lie in (0, 1)")
         if self.grid_side < 2:
             raise ValueError("grid_side must be at least 2")
+        from repro.neighbors import BACKENDS
+
+        valid = {"auto", *BACKENDS}
+        if self.neighbor_backend not in valid:
+            raise ValueError(
+                f"neighbor_backend must be one of {sorted(valid)}, got "
+                f"{self.neighbor_backend!r}"
+            )
 
     @classmethod
     def paper(cls) -> "OneClusterConfig":

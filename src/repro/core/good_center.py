@@ -156,7 +156,8 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
     # ------------------------------------------------------------------ #
     # Step 7: pick the heavy box with the choosing mechanism.
     # ------------------------------------------------------------------ #
-    labels = chosen_partition.labels(projected)
+    label_indices = chosen_partition.label_array(projected)
+    labels = [tuple(row) for row in label_indices]
     box_choice = stable_histogram_choice(
         labels, PrivacyParams(box_epsilon, quarter_delta), rng=box_rng
     )
@@ -165,7 +166,8 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
                       note="GoodCenter box choice")
     if not box_choice.found:
         return _failure(attempts, k)
-    in_box = np.array([label == box_choice.key for label in labels], dtype=bool)
+    chosen_index = np.asarray(box_choice.key, dtype=np.int64)
+    in_box = np.all(label_indices == chosen_index[None, :], axis=1)
     selected = points[in_box]
     if selected.shape[0] == 0:
         return _failure(attempts, k)

@@ -28,9 +28,9 @@ from repro.accounting.params import PrivacyParams
 from repro.core.config import OneClusterConfig
 from repro.core.params import good_radius_gamma
 from repro.core.types import GoodRadiusResult
-from repro.geometry.balls import pairwise_distances
 from repro.geometry.grid import GridDomain
 from repro.mechanisms.laplace import laplace_noise
+from repro.neighbors import BackendLike, NeighborBackend, resolve_backend
 from repro.quasiconcave.binary_search import noisy_binary_search
 from repro.quasiconcave.quality import CallableQuality
 from repro.quasiconcave.rec_concave import practical_promise, rec_concave
@@ -39,16 +39,18 @@ from repro.utils.validation import check_integer, check_points, check_probabilit
 
 
 class RadiusScore:
-    """Vectorised evaluator of the capped-average score ``L(r, S)``.
+    """Evaluator of the capped-average score ``L(r, S)``.
 
-    Precomputes the sorted pairwise distance matrix once so evaluating ``L``
-    at a batch of radii costs one ``searchsorted`` per input point, chunked to
-    keep memory bounded.
+    A thin wrapper over a :class:`~repro.neighbors.NeighborBackend`: the
+    backend owns the distance computation strategy (dense matrix, blocked, or
+    KD-tree), caches the per-point truncated-distance statistic, and batches
+    whole radius grids in one call — so the evaluator never materialises an
+    ``(n, n)`` matrix unless the dense backend was explicitly chosen (or
+    selected automatically at small ``n``).
     """
 
-    _CHUNK = 1024
-
-    def __init__(self, points: np.ndarray, target: int) -> None:
+    def __init__(self, points: np.ndarray, target: int,
+                 backend: BackendLike = None) -> None:
         points = check_points(points)
         self._n = points.shape[0]
         self._target = check_integer(target, "target", minimum=1)
@@ -56,7 +58,7 @@ class RadiusScore:
             raise ValueError(
                 f"target ({target}) cannot exceed the number of points ({self._n})"
             )
-        self._sorted_distances = np.sort(pairwise_distances(points), axis=1)
+        self._backend = resolve_backend(points, backend)
 
     @property
     def num_points(self) -> int:
@@ -68,27 +70,15 @@ class RadiusScore:
         """The target cluster size ``t`` (also the cap)."""
         return self._target
 
+    @property
+    def backend(self) -> NeighborBackend:
+        """The neighbor backend answering the distance queries."""
+        return self._backend
+
     def evaluate(self, radii) -> np.ndarray:
         """``L(r, S)`` for every radius in ``radii`` (negative radii give 0)."""
         radii = np.atleast_1d(np.asarray(radii, dtype=float))
-        result = np.empty(radii.shape[0], dtype=float)
-        for start in range(0, radii.shape[0], self._CHUNK):
-            chunk = radii[start:start + self._CHUNK]
-            result[start:start + self._CHUNK] = self._evaluate_chunk(chunk)
-        return result
-
-    def _evaluate_chunk(self, radii: np.ndarray) -> np.ndarray:
-        n, t = self._n, self._target
-        counts = np.empty((n, radii.shape[0]), dtype=float)
-        for row in range(n):
-            counts[row] = np.searchsorted(self._sorted_distances[row], radii,
-                                          side="right")
-        np.minimum(counts, t, out=counts)
-        counts[:, radii < 0] = 0.0
-        if t == n:
-            return counts.mean(axis=0)
-        top = np.partition(counts, n - t, axis=0)[n - t:, :]
-        return top.mean(axis=0)
+        return self._backend.capped_average_scores(radii, self._target)
 
     def evaluate_single(self, radius: float) -> float:
         """``L(radius, S)`` for one radius."""
@@ -116,7 +106,8 @@ def good_radius(points, target: int, params: PrivacyParams, beta: float = 0.1,
                 domain: Optional[GridDomain] = None,
                 config: Optional[OneClusterConfig] = None,
                 rng: RngLike = None,
-                ledger: Optional[PrivacyLedger] = None) -> GoodRadiusResult:
+                ledger: Optional[PrivacyLedger] = None,
+                backend: BackendLike = None) -> GoodRadiusResult:
     """Privately approximate the radius of the smallest ball with ``target`` points.
 
     Parameters
@@ -141,6 +132,11 @@ def good_radius(points, target: int, params: PrivacyParams, beta: float = 0.1,
         Seed or generator.
     ledger:
         Optional privacy ledger to record sub-mechanism spends.
+    backend:
+        Neighbor-backend selection (name, class, or instance) for the ``L``
+        evaluations; overrides ``config.neighbor_backend`` when supplied.
+        Backend choice affects performance only — all backends return
+        identical scores, so the released radius distribution is unchanged.
 
     Returns
     -------
@@ -155,7 +151,9 @@ def good_radius(points, target: int, params: PrivacyParams, beta: float = 0.1,
         raise ValueError("good_radius requires delta > 0 (RecConcave and Gamma need it)")
 
     domain = _resolve_domain(points, domain, config.grid_side)
-    score = RadiusScore(points, target)
+    if backend is None:
+        backend = config.neighbor_backend
+    score = RadiusScore(points, target, backend=backend)
     laplace_rng, search_rng = spawn_generators(rng, 2)
 
     half = params.part(0.5)

@@ -22,20 +22,30 @@ from repro.core.types import GoodCenterResult, GoodRadiusResult, OneClusterResul
 from repro.geometry.balls import Ball
 from repro.geometry.grid import GridDomain
 from repro.mechanisms.histogram import stable_histogram_choice
+from repro.neighbors import BackendLike
 from repro.utils.rng import RngLike, spawn_generators
 from repro.utils.validation import check_integer, check_points, check_probability
 
 
 def _zero_radius_center(points: np.ndarray, params: PrivacyParams,
                         rng) -> GoodCenterResult:
-    """Locate a cluster of identical points with the choosing mechanism."""
-    labels = [tuple(row) for row in np.round(points, decimals=12)]
+    """Locate a cluster of identical points with the choosing mechanism.
+
+    The rounded rows are deduplicated with one vectorised ``np.unique`` and
+    the histogram runs over the resulting integer labels.  (The histogram's
+    per-cell noise draws follow first-occurrence order of the label sequence,
+    which is the same regardless of the integer values ``np.unique`` assigns.)
+    """
+    rounded = np.round(points, decimals=12)
+    unique_rows, inverse = np.unique(rounded, axis=0, return_inverse=True)
+    labels = np.reshape(inverse, -1).tolist()
     choice = stable_histogram_choice(labels, params, rng=rng)
     if not choice.found:
         return GoodCenterResult(center=None, radius_bound=float("inf"),
                                 attempts=0, projected_dimension=points.shape[1])
+    center = unique_rows[int(choice.key)]
     return GoodCenterResult(
-        center=np.asarray(choice.key, dtype=float),
+        center=np.asarray(center, dtype=float),
         radius_bound=0.0,
         attempts=1,
         projected_dimension=points.shape[1],
@@ -47,7 +57,8 @@ def one_cluster(points, target: int, params: PrivacyParams, beta: float = 0.1,
                 domain: Optional[GridDomain] = None,
                 config: Optional[OneClusterConfig] = None,
                 rng: RngLike = None,
-                ledger: Optional[PrivacyLedger] = None) -> OneClusterResult:
+                ledger: Optional[PrivacyLedger] = None,
+                backend: BackendLike = None) -> OneClusterResult:
     """Privately locate a small ball containing roughly ``target`` points.
 
     This is the end-to-end algorithm of Theorem 3.2: GoodRadius followed by
@@ -75,6 +86,10 @@ def one_cluster(points, target: int, params: PrivacyParams, beta: float = 0.1,
     ledger:
         Optional :class:`~repro.accounting.ledger.PrivacyLedger` recording
         every sub-mechanism spend.
+    backend:
+        Neighbor-backend selection for the distance-heavy GoodRadius phase
+        (name, class, or instance); overrides ``config.neighbor_backend``.
+        Performance only — the output distribution is backend-independent.
 
     Returns
     -------
@@ -102,7 +117,7 @@ def one_cluster(points, target: int, params: PrivacyParams, beta: float = 0.1,
 
     radius_result: GoodRadiusResult = good_radius(
         points, target, radius_params, beta=half_beta, domain=domain,
-        config=config, rng=radius_rng, ledger=ledger,
+        config=config, rng=radius_rng, ledger=ledger, backend=backend,
     )
 
     if radius_result.zero_cluster or radius_result.radius <= 0.0:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.accounting.params import PrivacyParams
+from repro.baselines.nonprivate import nonprivate_one_cluster
 from repro.baselines.private_aggregation import private_aggregation_cluster
 from repro.core.one_cluster import one_cluster
 from repro.core.params import minimum_cluster_size
@@ -26,8 +27,15 @@ def run_dimension_scaling(dimensions: Sequence[int] = (2, 4, 8, 16),
                           n: int = 2000, cluster_fraction: float = 0.3,
                           epsilon: float = 2.0, delta: float = 1e-6,
                           cluster_radius: float = 0.05,
+                          backend: str = "auto",
                           rng=None) -> List[Dict[str, object]]:
-    """Sweep the dimension and compare against the aggregation baseline."""
+    """Sweep the dimension and compare against the aggregation baseline.
+
+    ``backend`` selects the neighbor backend of this work's solver (the
+    default ``"auto"`` hands low dimensions to the KD-tree and high
+    dimensions to the chunked strategy, which is itself a dimension-scaling
+    story worth sweeping).
+    """
     generator = as_generator(rng)
     params = PrivacyParams(epsilon, delta)
     rows: List[Dict[str, object]] = []
@@ -40,19 +48,23 @@ def run_dimension_scaling(dimensions: Sequence[int] = (2, 4, 8, 16),
         target = int(0.8 * cluster_fraction * n)
         domain = GridDomain.unit_cube(dimension, 1025)
         theory_t = minimum_cluster_size(domain, params, beta=0.1, num_points=n)
+        reference = nonprivate_one_cluster(data.points, target, backend=backend)
 
         result, seconds = timed(one_cluster, data.points, target, params,
-                                rng=ours_rng)
-        record = evaluate_result("this_work", data.points, target, result, seconds)
-        row = {"d": dimension, "n": n, "t": target, "theory_min_t": theory_t}
+                                rng=ours_rng, backend=backend)
+        record = evaluate_result("this_work", data.points, target, result,
+                                 seconds, reference=reference)
+        row = {"d": dimension, "n": n, "t": target, "backend": backend,
+               "theory_min_t": theory_t}
         row.update(record.as_dict())
         rows.append(row)
 
         result, seconds = timed(private_aggregation_cluster, data.points, target,
                                 params, rng=baseline_rng)
         record = evaluate_result("private_aggregation", data.points, target,
-                                 result, seconds)
-        row = {"d": dimension, "n": n, "t": target, "theory_min_t": theory_t}
+                                 result, seconds, reference=reference)
+        row = {"d": dimension, "n": n, "t": target, "backend": backend,
+               "theory_min_t": theory_t}
         row.update(record.as_dict())
         rows.append(row)
     return rows

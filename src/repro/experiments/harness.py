@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.baselines.nonprivate import nonprivate_one_cluster
 from repro.core.types import OneClusterResult
+from repro.neighbors import BackendLike
 
 
 @dataclass(frozen=True)
@@ -63,10 +64,16 @@ class EvaluationRecord:
 
 def evaluate_result(method: str, points: np.ndarray, target: int,
                     result: OneClusterResult, seconds: float,
-                    reference: Optional[OneClusterResult] = None) -> EvaluationRecord:
-    """Measure a solver's output against the non-private reference."""
+                    reference: Optional[OneClusterResult] = None,
+                    backend: BackendLike = None) -> EvaluationRecord:
+    """Measure a solver's output against the non-private reference.
+
+    ``backend`` selects the neighbor backend used to compute the reference
+    solution when none is supplied (at large ``n`` the default dense
+    reference would itself be the bottleneck).
+    """
     if reference is None:
-        reference = nonprivate_one_cluster(points, target)
+        reference = nonprivate_one_cluster(points, target, backend=backend)
     reference_radius = max(reference.ball.radius, 1e-12)
     if not result.found:
         return EvaluationRecord(

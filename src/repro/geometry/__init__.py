@@ -7,6 +7,7 @@ from repro.geometry.balls import (
     counts_around_points,
     capped_counts_around_points,
     capped_average_score,
+    capped_average_score_profile,
     pairwise_distances,
 )
 from repro.geometry.minimal_ball import (
@@ -26,6 +27,7 @@ __all__ = [
     "counts_around_points",
     "capped_counts_around_points",
     "capped_average_score",
+    "capped_average_score_profile",
     "pairwise_distances",
     "smallest_ball_two_approx",
     "smallest_interval_1d",

@@ -11,7 +11,11 @@ to 2 (paper Lemma 4.5), which is what makes a private binary search /
 RecConcave invocation possible.
 
 This module provides vectorised implementations of those quantities plus a
-:class:`Ball` value type used across the public API.
+:class:`Ball` value type used across the public API.  All counting routes
+through the pluggable :mod:`repro.neighbors` backend layer (dense matrix,
+blocked, or KD-tree — pass ``backend=`` to choose; the default ``"auto"``
+picks by workload size).  The legacy ``distances=`` parameters still accept a
+precomputed ``(n, n)`` matrix for callers that already hold one.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.neighbors import BackendLike, resolve_backend
 from repro.utils.validation import check_points, check_positive
 
 
@@ -90,7 +95,8 @@ def count_in_ball(points: np.ndarray, center: np.ndarray, radius: float) -> int:
 
 
 def counts_around_points(points: np.ndarray, radius: float,
-                         distances: np.ndarray = None) -> np.ndarray:
+                         distances: np.ndarray = None,
+                         backend: BackendLike = None) -> np.ndarray:
     """``B_r(x_i, S)`` for every input point ``x_i`` simultaneously.
 
     Parameters
@@ -101,27 +107,37 @@ def counts_around_points(points: np.ndarray, radius: float,
         The ball radius; negative radii give all-zero counts (matching the
         paper's convention ``B_r = 0`` for ``r < 0``).
     distances:
-        Optional precomputed pairwise distance matrix.
+        Optional precomputed pairwise distance matrix (legacy path; takes
+        precedence over ``backend`` when supplied).  Note the legacy path
+        inherits the accuracy of the supplied matrix — a Gram-computed matrix
+        (:func:`pairwise_distances`) puts duplicate points at distance ~1e-8,
+        so its counts can differ from the backend path at boundary radii.
+    backend:
+        Neighbor-backend selection (name, class, instance, or ``None`` for
+        automatic); see :func:`repro.neighbors.resolve_backend`.
     """
     points = check_points(points)
     if radius < 0:
         return np.zeros(points.shape[0], dtype=np.int64)
-    if distances is None:
-        distances = pairwise_distances(points)
-    return np.count_nonzero(distances <= radius, axis=1).astype(np.int64)
+    if distances is not None:
+        return np.count_nonzero(distances <= radius, axis=1).astype(np.int64)
+    return resolve_backend(points, backend).radius_counts(radius)
 
 
 def capped_counts_around_points(points: np.ndarray, radius: float, cap: int,
-                                distances: np.ndarray = None) -> np.ndarray:
+                                distances: np.ndarray = None,
+                                backend: BackendLike = None) -> np.ndarray:
     """``Bbar_r(x_i, S) = min(B_r(x_i, S), cap)`` for every input point."""
     if cap < 0:
         raise ValueError(f"cap must be non-negative, got {cap}")
-    counts = counts_around_points(points, radius, distances=distances)
+    counts = counts_around_points(points, radius, distances=distances,
+                                  backend=backend)
     return np.minimum(counts, cap)
 
 
 def capped_average_score(points: np.ndarray, radius: float, target: int,
-                         distances: np.ndarray = None) -> float:
+                         distances: np.ndarray = None,
+                         backend: BackendLike = None) -> float:
     """The sensitivity-2 score ``L(r, S)`` of GoodRadius (Algorithm 1, step 1).
 
     The average of the ``target`` largest capped counts
@@ -137,7 +153,9 @@ def capped_average_score(points: np.ndarray, radius: float, target: int,
         The target cluster size ``t`` (also the cap); must satisfy
         ``1 <= target <= n``.
     distances:
-        Optional precomputed pairwise distance matrix.
+        Optional precomputed pairwise distance matrix (legacy path).
+    backend:
+        Neighbor-backend selection; see :func:`repro.neighbors.resolve_backend`.
     """
     points = check_points(points)
     n = points.shape[0]
@@ -145,24 +163,26 @@ def capped_average_score(points: np.ndarray, radius: float, target: int,
         raise ValueError(f"target must lie in [1, n={n}], got {target}")
     if radius < 0:
         return 0.0
-    capped = capped_counts_around_points(points, radius, target, distances=distances)
-    if target == n:
-        top = capped
-    else:
-        top = np.partition(capped, n - target)[n - target:]
-    return float(top.mean())
+    if distances is not None:
+        capped = capped_counts_around_points(points, radius, target,
+                                             distances=distances)
+        if target == n:
+            top = capped
+        else:
+            top = np.partition(capped, n - target)[n - target:]
+        return float(top.mean())
+    return resolve_backend(points, backend).capped_average_score(radius, target)
 
 
 def capped_average_score_profile(points: np.ndarray, radii: np.ndarray,
-                                 target: int) -> np.ndarray:
-    """Evaluate ``L(r, S)`` on a whole grid of radii with one distance matrix."""
+                                 target: int,
+                                 backend: BackendLike = None) -> np.ndarray:
+    """Evaluate ``L(r, S)`` on a whole grid of radii in one batched backend
+    call (no per-radius Python loop, no dense matrix unless the backend is
+    dense)."""
     points = check_points(points)
-    distances = pairwise_distances(points)
     radii = np.asarray(radii, dtype=float)
-    return np.array([
-        capped_average_score(points, float(radius), target, distances=distances)
-        for radius in radii
-    ])
+    return resolve_backend(points, backend).capped_average_scores(radii, target)
 
 
 __all__ = [

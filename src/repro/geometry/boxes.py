@@ -96,11 +96,14 @@ class ShiftedBoxPartition:
         generator = as_generator(rng)
         self.shifts = generator.uniform(0.0, self.width, size=self.dimension)
 
+    def label_array(self, points) -> np.ndarray:
+        """The ``(n, k)`` integer index vectors of every point's box."""
+        points = check_points(points, dimension=self.dimension)
+        return np.floor((points - self.shifts[None, :]) / self.width).astype(np.int64)
+
     def labels(self, points) -> list:
         """The box label (a tuple of per-axis indices) of every point."""
-        points = check_points(points, dimension=self.dimension)
-        indices = np.floor((points - self.shifts[None, :]) / self.width).astype(np.int64)
-        return [tuple(row) for row in indices]
+        return [tuple(row) for row in self.label_array(points)]
 
     def heaviest_cell_count(self, points) -> int:
         """The maximum number of points falling into one box.
@@ -108,13 +111,9 @@ class ShiftedBoxPartition:
         This is the sensitivity-1 query GoodCenter feeds to AboveThreshold
         (Algorithm 2, step 5).
         """
-        labels = self.labels(points)
-        if not labels:
-            return 0
-        counts = {}
-        for label in labels:
-            counts[label] = counts.get(label, 0) + 1
-        return max(counts.values())
+        indices = self.label_array(points)
+        _, counts = np.unique(indices, axis=0, return_counts=True)
+        return int(counts.max())
 
     def box_for_label(self, label: Tuple[int, ...]) -> Box:
         """The geometric box corresponding to an integer label."""

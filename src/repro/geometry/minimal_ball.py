@@ -23,12 +23,14 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.geometry.balls import Ball, pairwise_distances
+from repro.geometry.balls import Ball
+from repro.neighbors import BackendLike, resolve_backend
 from repro.utils.validation import check_points
 
 
 def smallest_ball_two_approx(points: np.ndarray, target: int,
-                             distances: np.ndarray = None) -> Ball:
+                             distances: np.ndarray = None,
+                             backend: BackendLike = None) -> Ball:
     """Factor-2 approximation of the smallest ball containing ``target`` points.
 
     Returns the smallest ball *centred at an input point* that contains at
@@ -42,26 +44,32 @@ def smallest_ball_two_approx(points: np.ndarray, target: int,
     target:
         The number of points the ball must contain (``1 <= target <= n``).
     distances:
-        Optional precomputed pairwise distance matrix.
+        Optional precomputed pairwise distance matrix (legacy path; takes
+        precedence over ``backend`` when supplied).
+    backend:
+        Neighbor-backend selection; the backend's ``k``-th-nearest-distance
+        query is exactly the per-centre radius this approximation minimises.
     """
     points = check_points(points)
     n = points.shape[0]
     if not (1 <= target <= n):
         raise ValueError(f"target must lie in [1, n={n}], got {target}")
-    if distances is None:
-        distances = pairwise_distances(points)
     # For each candidate centre, the radius needed to capture `target` points
     # is the target-th smallest distance from that centre.
-    sorted_distances = np.sort(distances, axis=1)
-    radii_needed = sorted_distances[:, target - 1]
+    if distances is not None:
+        radii_needed = np.partition(distances, target - 1, axis=1)[:, target - 1]
+    else:
+        radii_needed = resolve_backend(points, backend).kth_distances(target)
     best_index = int(np.argmin(radii_needed))
     return Ball(center=points[best_index].copy(), radius=float(radii_needed[best_index]))
 
 
 def optimal_radius_lower_bound(points: np.ndarray, target: int,
-                               distances: np.ndarray = None) -> float:
+                               distances: np.ndarray = None,
+                               backend: BackendLike = None) -> float:
     """A certified lower bound on ``r_opt``: half the 2-approximation radius."""
-    return smallest_ball_two_approx(points, target, distances=distances).radius / 2.0
+    return smallest_ball_two_approx(points, target, distances=distances,
+                                    backend=backend).radius / 2.0
 
 
 def smallest_interval_1d(values: np.ndarray, target: int) -> Tuple[float, float]:

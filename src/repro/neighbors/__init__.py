@@ -1,0 +1,122 @@
+"""Pluggable distance-query backends (the ``NeighborBackend`` layer).
+
+The 1-cluster pipeline only ever asks three questions about the geometry of
+its input — per-point ball counts, ball counts around arbitrary centres, and
+each point's ``k`` smallest distances.  This package hides those questions
+behind the :class:`~repro.neighbors.base.NeighborBackend` protocol with three
+interchangeable strategies:
+
+* :class:`~repro.neighbors.dense.DenseBackend` — the full row-sorted
+  ``(n, n)`` distance matrix; fastest for small ``n``, ``O(n^2)`` memory.
+* :class:`~repro.neighbors.chunked.ChunkedBackend` — blocked brute force with
+  a fixed memory budget; any ``n``, ``O(n * block)`` memory.
+* :class:`~repro.neighbors.tree.TreeBackend` — scipy ``cKDTree`` (pure-python
+  KD-tree fallback) radius counting; the right choice for large ``n`` in low
+  dimension.
+
+All strategies return *identical* integer counts and bit-identical ``L(r, S)``
+values (see :mod:`repro.neighbors._distance` for why), so swapping backends
+changes performance only — callers pick one per workload via
+:func:`auto_backend` / the ``backend=`` argument threaded through
+``one_cluster``/``good_radius`` and the clustering applications.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+import numpy as np
+
+from repro.neighbors.base import NeighborBackend
+from repro.neighbors.chunked import ChunkedBackend
+from repro.neighbors.dense import DenseBackend
+from repro.neighbors.tree import HAVE_SCIPY_TREE, TreeBackend
+from repro.utils.validation import check_points
+
+#: Strategy registry, keyed by the names accepted in configs and CLIs.
+BACKENDS: Dict[str, Callable[..., NeighborBackend]] = {
+    DenseBackend.name: DenseBackend,
+    ChunkedBackend.name: ChunkedBackend,
+    TreeBackend.name: TreeBackend,
+}
+
+#: Everything ``backend=`` arguments accept: a strategy name (or "auto"),
+#: a backend class, an already-built instance, or None (= "auto").
+BackendLike = Union[None, str, NeighborBackend, type]
+
+#: Largest n for which the dense O(n^2) matrix is the default choice.
+DENSE_MAX_POINTS = 2048
+
+#: Largest dimension for which KD-trees still beat blocked brute force.
+TREE_MAX_DIMENSION = 8
+
+
+def auto_backend(num_points: int, dimension: int) -> str:
+    """Pick a backend name for an ``(n, d)`` workload.
+
+    Heuristics: below ``DENSE_MAX_POINTS`` the dense matrix fits comfortably
+    (32 MiB) and amortises best over the thousands of radii GoodRadius
+    probes; beyond that, KD-trees win while the dimension is moderate
+    (``d <= TREE_MAX_DIMENSION`` — higher dimensions degrade tree pruning to
+    brute force with extra overhead), and blocked brute force is the safe
+    choice otherwise.
+    """
+    if num_points <= DENSE_MAX_POINTS:
+        return DenseBackend.name
+    if dimension <= TREE_MAX_DIMENSION and HAVE_SCIPY_TREE:
+        return TreeBackend.name
+    return ChunkedBackend.name
+
+
+def resolve_backend(points, backend: BackendLike = None) -> NeighborBackend:
+    """Turn a ``backend=`` argument into a ready :class:`NeighborBackend`.
+
+    Accepts ``None`` / ``"auto"`` (size-based selection via
+    :func:`auto_backend`), a registry name (``"dense"``, ``"chunked"``,
+    ``"tree"``), a backend class, or an existing instance (which must have
+    been built over the same dataset).
+    """
+    points = check_points(points)
+    if backend is None:
+        backend = "auto"
+    if isinstance(backend, NeighborBackend):
+        if backend.points.shape != points.shape or not (
+            backend.points is points or np.array_equal(backend.points, points)
+        ):
+            raise ValueError(
+                "the supplied backend instance was built over a different "
+                "dataset; pass a backend name or class instead so each call "
+                "indexes its own points"
+            )
+        return backend
+    if isinstance(backend, type) and issubclass(backend, NeighborBackend):
+        return backend(points)
+    if isinstance(backend, str):
+        name = backend.lower()
+        if name == "auto":
+            name = auto_backend(points.shape[0], points.shape[1])
+        if name not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected 'auto' or one of "
+                f"{sorted(BACKENDS)}"
+            )
+        return BACKENDS[name](points)
+    raise TypeError(
+        f"backend must be None, a name, a NeighborBackend class or instance; "
+        f"got {type(backend).__name__}"
+    )
+
+
+__all__ = [
+    "BACKENDS",
+    "BackendLike",
+    "DENSE_MAX_POINTS",
+    "TREE_MAX_DIMENSION",
+    "HAVE_SCIPY_TREE",
+    "NeighborBackend",
+    "DenseBackend",
+    "ChunkedBackend",
+    "TreeBackend",
+    "auto_backend",
+    "resolve_backend",
+]

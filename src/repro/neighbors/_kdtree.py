@@ -1,0 +1,109 @@
+"""A pure-python (numpy-vectorised) KD-tree for batched radius counting.
+
+Used by :class:`repro.neighbors.tree.TreeBackend` when scipy is unavailable.
+The tree answers one query shape — "how many dataset points lie within
+distance ``r`` of each of these centres" — which is the only operation the
+backend layer needs a spatial index for.  Queries are vectorised over the
+*centres*: the traversal keeps, per node, the subset of centres whose ball can
+still intersect the node's bounding box, prunes with the box's min-distance,
+and short-circuits whole subtrees whose box lies entirely inside a centre's
+ball (the ``count_neighbors``-style trick that makes radius counting cheap for
+large radii).  All comparisons happen in squared space (``d2 <= r*r``),
+matching scipy's convention and the rest of :mod:`repro.neighbors`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.neighbors._distance import squared_distance_block
+
+
+class _Node:
+    __slots__ = ("lower", "upper", "size", "indices", "left", "right")
+
+    def __init__(self, lower: np.ndarray, upper: np.ndarray, size: int,
+                 indices: Optional[np.ndarray], left: "Optional[_Node]",
+                 right: "Optional[_Node]") -> None:
+        self.lower = lower
+        self.upper = upper
+        self.size = size
+        self.indices = indices
+        self.left = left
+        self.right = right
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class PyKDTree:
+    """Median-split KD-tree over an ``(n, d)`` point set."""
+
+    def __init__(self, points: np.ndarray, leaf_size: int = 32) -> None:
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("points must be a non-empty (n, d) array")
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be at least 1, got {leaf_size}")
+        self._points = points
+        self._leaf_size = int(leaf_size)
+        self._root = self._build(np.arange(points.shape[0], dtype=np.int64))
+
+    def _build(self, indices: np.ndarray) -> _Node:
+        subset = self._points[indices]
+        lower = subset.min(axis=0)
+        upper = subset.max(axis=0)
+        if indices.shape[0] <= self._leaf_size:
+            return _Node(lower, upper, indices.shape[0], indices, None, None)
+        axis = int(np.argmax(upper - lower))
+        if upper[axis] <= lower[axis]:
+            # All remaining points coincide; splitting cannot make progress.
+            return _Node(lower, upper, indices.shape[0], indices, None, None)
+        half = indices.shape[0] // 2
+        order = np.argpartition(subset[:, axis], half)
+        left = self._build(indices[order[:half]])
+        right = self._build(indices[order[half:]])
+        return _Node(lower, upper, indices.shape[0], None, left, right)
+
+    def count_within(self, centers: np.ndarray, radius: float) -> np.ndarray:
+        """The number of dataset points within ``radius`` of each centre."""
+        centers = np.asarray(centers, dtype=float)
+        num_queries = centers.shape[0]
+        counts = np.zeros(num_queries, dtype=np.int64)
+        if radius < 0:
+            return counts
+        threshold = radius * radius
+        stack = [(self._root, np.arange(num_queries, dtype=np.int64))]
+        while stack:
+            node, active = stack.pop()
+            subset = centers[active]
+            outside = np.maximum(node.lower - subset, 0.0)
+            outside = np.maximum(outside, subset - node.upper)
+            min_squared = np.einsum("qd,qd->q", outside, outside)
+            reachable = min_squared <= threshold
+            active = active[reachable]
+            if active.shape[0] == 0:
+                continue
+            subset = subset[reachable]
+            farthest = np.maximum(np.abs(subset - node.lower),
+                                  np.abs(node.upper - subset))
+            max_squared = np.einsum("qd,qd->q", farthest, farthest)
+            engulfed = max_squared <= threshold
+            counts[active[engulfed]] += node.size
+            active = active[~engulfed]
+            if active.shape[0] == 0:
+                continue
+            if node.is_leaf:
+                squared = squared_distance_block(centers[active],
+                                                 self._points[node.indices])
+                counts[active] += np.count_nonzero(squared <= threshold, axis=1)
+            else:
+                stack.append((node.left, active))
+                stack.append((node.right, active))
+        return counts
+
+
+__all__ = ["PyKDTree"]

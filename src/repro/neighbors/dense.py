@@ -1,0 +1,67 @@
+"""Dense backend: the full row-sorted squared-distance matrix.
+
+The strategy the seed implementation hard-coded everywhere: materialise all
+``(n, n)`` pairwise (squared) distances once, sort each row, and answer every
+query with binary searches.  Unbeatable for small ``n`` when many radii are
+probed (GoodRadius probes thousands), but the ``8 n^2`` bytes make it
+unusable beyond ``n ~ 30k`` — that is exactly what the chunked and tree
+backends exist to fix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.neighbors._distance import (
+    blocked_radius_counts,
+    row_block_size,
+    squared_distance_block,
+)
+from repro.neighbors.base import NeighborBackend
+from repro.utils.validation import check_points
+
+
+class DenseBackend(NeighborBackend):
+    """Precomputed ``(n, n)`` row-sorted squared-distance matrix."""
+
+    name = "dense"
+
+    def __init__(self, points) -> None:
+        super().__init__(points)
+        self._sorted_squared: Optional[np.ndarray] = None
+
+    def _matrix(self) -> np.ndarray:
+        """The row-sorted squared-distance matrix, built lazily on first use."""
+        if self._sorted_squared is None:
+            points = self._points
+            n = points.shape[0]
+            matrix = np.empty((n, n), dtype=float)
+            block = row_block_size(n, points.shape[1])
+            for start in range(0, n, block):
+                matrix[start:start + block] = squared_distance_block(
+                    points[start:start + block], points
+                )
+            matrix.sort(axis=1)
+            self._sorted_squared = matrix
+        return self._sorted_squared
+
+    def query_radius_counts(self, centers, radius: float) -> np.ndarray:
+        centers = check_points(centers, dimension=self.dimension,
+                               name="centers")
+        if radius < 0:
+            return np.zeros(centers.shape[0], dtype=np.int64)
+        # Identity only: a same-shape overlapping *view* (e.g. points[::-1])
+        # would return counts in dataset-row order, not query-row order.
+        if centers is self._points:
+            counts = np.count_nonzero(self._matrix() <= radius * radius, axis=1)
+            return counts.astype(np.int64)
+        block = row_block_size(self.num_points, self.dimension)
+        return blocked_radius_counts(centers, self._points, radius, block)
+
+    def _compute_truncated_squared(self, k: int) -> np.ndarray:
+        return self._matrix()[:, :k].copy()
+
+
+__all__ = ["DenseBackend"]

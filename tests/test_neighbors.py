@@ -1,0 +1,320 @@
+"""Tests for the pluggable neighbor-backend layer.
+
+The contract under test: Dense, Chunked, and Tree (scipy and pure-python)
+backends are *interchangeable* — identical integer counts and identical
+``L(r, S)`` values on random and adversarial datasets — and the non-dense
+strategies never materialise an ``(n, n)`` distance matrix.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.accounting.params import PrivacyParams
+from repro.core.config import OneClusterConfig
+from repro.core.good_radius import RadiusScore, good_radius
+from repro.geometry.balls import (
+    capped_average_score,
+    capped_average_score_profile,
+    counts_around_points,
+    pairwise_distances,
+)
+from repro.geometry.minimal_ball import smallest_ball_two_approx
+from repro.neighbors import (
+    BACKENDS,
+    ChunkedBackend,
+    DenseBackend,
+    NeighborBackend,
+    TreeBackend,
+    auto_backend,
+    resolve_backend,
+)
+
+
+def all_backends(points):
+    """One instance of every strategy (both tree variants)."""
+    return [
+        DenseBackend(points),
+        ChunkedBackend(points, block_size=29),
+        TreeBackend(points),
+        TreeBackend(points, use_scipy=False, leaf_size=7),
+    ]
+
+
+def backend_id(backend):
+    if isinstance(backend, TreeBackend) and not backend.uses_scipy:
+        return "tree-pure"
+    return backend.name
+
+
+DATASETS = {
+    "random-2d": np.random.default_rng(0).uniform(size=(150, 2)),
+    "random-1d": np.random.default_rng(1).normal(size=(120, 1)),
+    "random-highd": np.random.default_rng(2).uniform(size=(80, 24)),
+    "duplicates": np.vstack([
+        np.zeros((7, 3)),
+        np.ones((4, 3)),
+        np.random.default_rng(3).uniform(size=(30, 3)),
+        np.zeros((2, 3)),
+    ]),
+    "identical": np.full((25, 2), 0.5),
+    # Integer coordinates: pairwise distances like 5.0 (3-4-5) are exactly
+    # representable, so "radius exactly equal to a distance" is exercised
+    # without floating-point ambiguity.
+    "integer-grid": np.array(
+        [[x, y] for x in range(-3, 4) for y in range(-3, 4)], dtype=float
+    ),
+}
+
+
+def radii_for(points):
+    distances = pairwise_distances(points)
+    span = float(distances.max())
+    rng = np.random.default_rng(99)
+    probe = rng.uniform(0.0, span * 1.1, size=12)
+    exact = distances[distances > 0]
+    hits = [float(np.median(exact))] if exact.size else []
+    return np.concatenate([[-1.0, -1e-9, 0.0, span, span + 1.0], probe, hits])
+
+
+class TestCountParity:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_radius_counts_identical(self, name):
+        points = DATASETS[name]
+        reference = None
+        for backend in all_backends(points):
+            for radius in radii_for(points):
+                counts = backend.radius_counts(float(radius))
+                assert counts.dtype == np.int64
+                # "Within radius r" means d2 <= r*r (squared-space, the
+                # cKDTree convention every backend follows).
+                brute = np.array([
+                    np.count_nonzero(
+                        ((points - x) ** 2).sum(axis=1) <= radius * radius
+                    ) for x in points
+                ]) if radius >= 0 else np.zeros(points.shape[0], dtype=int)
+                assert np.array_equal(counts, brute), (
+                    backend_id(backend), radius
+                )
+            reference = counts if reference is None else reference
+
+    @pytest.mark.parametrize("name", ["random-2d", "duplicates", "integer-grid"])
+    def test_query_counts_arbitrary_centers(self, name):
+        points = DATASETS[name]
+        rng = np.random.default_rng(7)
+        centers = rng.uniform(points.min() - 0.5, points.max() + 0.5,
+                              size=(23, points.shape[1]))
+        for radius in (0.0, 0.3, 2.0, 5.0):
+            brute = np.array([
+                np.count_nonzero(((points - c) ** 2).sum(axis=1) <= radius * radius)
+                for c in centers
+            ])
+            for backend in all_backends(points):
+                counts = backend.query_radius_counts(centers, radius)
+                assert np.array_equal(counts, brute), backend_id(backend)
+
+    def test_dense_query_counts_on_overlapping_view(self):
+        """A reordered view of the dataset must be treated as ordinary query
+        centres, not served from the dataset-ordered matrix."""
+        points = DATASETS["random-2d"]
+        backend = DenseBackend(points)
+        counts = backend.query_radius_counts(backend.points[::-1], 0.3)
+        assert np.array_equal(counts, backend.radius_counts(0.3)[::-1])
+
+    def test_capped_counts(self):
+        points = DATASETS["duplicates"]
+        for backend in all_backends(points):
+            capped = backend.capped_radius_counts(0.0, cap=3)
+            assert capped.max() == 3
+            assert np.array_equal(
+                capped, np.minimum(backend.radius_counts(0.0), 3)
+            )
+            assert np.all(backend.capped_radius_counts(-1.0, cap=3) == 0)
+            assert np.all(backend.capped_radius_counts(1.0, cap=0) == 0)
+
+
+class TestScoreParity:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_score_profiles_identical(self, name):
+        points = DATASETS[name]
+        n = points.shape[0]
+        radii = radii_for(points)
+        distances = pairwise_distances(points)
+        # The Gram-matrix legacy path is only approximate (it loses ~8
+        # digits to cancellation), so it is cross-checked only at radii
+        # bounded away from every pairwise distance; the backends
+        # themselves must agree exactly at *every* radius, boundaries
+        # included.
+        gaps = np.abs(radii[:, None] - distances.ravel()[None, :]).min(axis=1)
+        safe = gaps > 1e-6
+        for target in {1, 3, n // 2, n}:
+            target = max(1, target)
+            legacy = np.array([
+                capped_average_score(points, float(r), target,
+                                     distances=distances)
+                for r in radii[safe]
+            ])
+            profiles = [
+                backend.capped_average_scores(radii, target)
+                for backend in all_backends(points)
+            ]
+            for profile in profiles[1:]:
+                # Identical integer counts => identical scores, exactly.
+                assert np.array_equal(profile, profiles[0])
+            assert np.allclose(profiles[0][safe], legacy, atol=1e-6)
+
+    def test_profile_matches_issue_tolerance(self):
+        points = DATASETS["random-2d"]
+        radii = np.linspace(0.0, 1.5, 40)
+        profiles = {
+            backend_id(b): b.capped_average_scores(radii, 40)
+            for b in all_backends(points)
+        }
+        base = profiles.pop("dense")
+        for name, profile in profiles.items():
+            assert np.allclose(profile, base, atol=1e-9), name
+
+    def test_unsorted_radii_and_scalars(self):
+        points = DATASETS["random-2d"]
+        backend = ChunkedBackend(points)
+        radii = np.array([0.9, 0.1, -0.5, 0.4, 0.1])
+        profile = backend.capped_average_scores(radii, 25)
+        singles = [backend.capped_average_score(float(r), 25) for r in radii]
+        assert np.array_equal(profile, np.array(singles))
+        assert profile[2] == 0.0
+
+    def test_target_validation(self):
+        points = DATASETS["random-2d"]
+        backend = DenseBackend(points)
+        with pytest.raises(ValueError):
+            backend.capped_average_scores([0.1], points.shape[0] + 1)
+        with pytest.raises(ValueError):
+            backend.capped_average_scores([0.1], 0)
+
+
+class TestKthDistances:
+    @pytest.mark.parametrize("name", ["random-2d", "duplicates", "random-highd"])
+    def test_matches_sorted_matrix(self, name):
+        points = DATASETS[name]
+        sorted_distances = np.sort(pairwise_distances(points), axis=1)
+        for k in (1, 2, points.shape[0] // 2, points.shape[0]):
+            for backend in all_backends(points):
+                kth = backend.kth_distances(k)
+                assert np.allclose(kth, sorted_distances[:, k - 1],
+                                   atol=1e-7), backend_id(backend)
+
+    def test_k_validation(self):
+        backend = DenseBackend(DATASETS["random-2d"])
+        with pytest.raises(ValueError):
+            backend.kth_distances(0)
+        with pytest.raises(ValueError):
+            backend.kth_distances(10 ** 6)
+
+    def test_two_approx_uses_backend(self):
+        points = DATASETS["random-2d"]
+        reference = smallest_ball_two_approx(
+            points, 50, distances=pairwise_distances(points)
+        )
+        for name in BACKENDS:
+            ball = smallest_ball_two_approx(points, 50, backend=name)
+            assert ball.radius == pytest.approx(reference.radius, abs=1e-7)
+
+
+class TestSelection:
+    def test_auto_backend_regimes(self):
+        assert auto_backend(100, 2) == "dense"
+        assert auto_backend(2048, 50) == "dense"
+        assert auto_backend(50000, 2) == "tree"
+        assert auto_backend(50000, 100) == "chunked"
+
+    def test_resolve_by_name_class_instance(self):
+        points = DATASETS["random-2d"]
+        assert resolve_backend(points, "chunked").name == "chunked"
+        assert resolve_backend(points, TreeBackend).name == "tree"
+        assert isinstance(resolve_backend(points), NeighborBackend)
+        instance = ChunkedBackend(points)
+        assert resolve_backend(points, instance) is instance
+
+    def test_resolve_rejects_foreign_instance(self):
+        instance = ChunkedBackend(DATASETS["random-2d"])
+        with pytest.raises(ValueError):
+            resolve_backend(DATASETS["random-1d"], instance)
+
+    def test_resolve_rejects_unknown(self):
+        points = DATASETS["random-2d"]
+        with pytest.raises(ValueError):
+            resolve_backend(points, "octree")
+        with pytest.raises(TypeError):
+            resolve_backend(points, 42)
+
+    def test_config_validates_backend_name(self):
+        with pytest.raises(ValueError):
+            OneClusterConfig(neighbor_backend="octree")
+        assert OneClusterConfig(neighbor_backend="tree").neighbor_backend == "tree"
+
+
+class TestIntegration:
+    def test_radius_score_backend_equivalence(self):
+        rng = np.random.default_rng(5)
+        points = rng.uniform(size=(90, 3))
+        radii = np.linspace(0.0, 1.8, 33)
+        base = RadiusScore(points, 30, backend="dense").evaluate(radii)
+        for name in ("chunked", "tree"):
+            assert np.array_equal(
+                RadiusScore(points, 30, backend=name).evaluate(radii), base
+            )
+
+    def test_good_radius_backend_independent(self, small_cluster_data, loose_params):
+        results = {
+            name: good_radius(small_cluster_data.points, 200, loose_params,
+                              rng=11, backend=name)
+            for name in BACKENDS
+        }
+        radii = {result.radius for result in results.values()}
+        # Identical scores + identical rng stream => identical release.
+        assert len(radii) == 1
+
+    def test_profile_helper_routes_through_backend(self):
+        points = DATASETS["random-2d"]
+        radii = np.linspace(0, 1.0, 11)
+        via_tree = capped_average_score_profile(points, radii, 30, backend="tree")
+        via_default = capped_average_score_profile(points, radii, 30)
+        assert np.array_equal(via_tree, via_default)
+
+    def test_counts_around_points_backend_param(self):
+        points = DATASETS["duplicates"]
+        default = counts_around_points(points, 0.0)
+        for name in BACKENDS:
+            assert np.array_equal(
+                counts_around_points(points, 0.0, backend=name), default
+            )
+
+
+class TestMemoryGuard:
+    """Chunked/Tree at n = 20k must never allocate an (n, n) array."""
+
+    N = 20000
+    TARGET = 200
+
+    @pytest.fixture(scope="class")
+    def big_points(self):
+        return np.random.default_rng(17).uniform(size=(self.N, 2))
+
+    @pytest.mark.parametrize("name", ["chunked", "tree"])
+    def test_no_quadratic_allocation(self, big_points, name):
+        backend = BACKENDS[name](big_points)
+        dense_bytes = self.N * self.N * 8
+        tracemalloc.start()
+        try:
+            backend.radius_counts(0.02)
+            scores = backend.capped_average_scores(
+                np.linspace(0.0, 0.3, 48), self.TARGET
+            )
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert scores.shape == (48,)
+        assert np.all(np.diff(scores) >= 0)
+        # Well under the 3.2 GB a dense (n, n) float64 matrix would cost.
+        assert peak < dense_bytes / 8, f"{name} peaked at {peak / 1e6:.0f} MB"
