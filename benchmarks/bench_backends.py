@@ -2,9 +2,10 @@
 
 For each ``n`` the benchmark times the workload that dominates ``good_radius``
 — evaluating the capped-average score ``L(r, S)`` over the full candidate
-radius grid — under every backend, plus a faithful replica of the *seed*
-implementation (Gram-matrix pairwise distances, full row sort, per-row Python
-``searchsorted`` loop) as the reference the speedups are measured against.
+radius grid — under every backend (dense / chunked / tree / sharded), plus a
+faithful replica of the *seed* implementation (Gram-matrix pairwise distances,
+full row sort, per-row Python ``searchsorted`` loop) as the reference the
+speedups are measured against.
 
 Run directly::
 
@@ -12,16 +13,24 @@ Run directly::
     PYTHONPATH=src python benchmarks/bench_backends.py --sizes 1000 5000 20000 \
         --seed-max 5000          # skip the O(n^2)-memory seed path at 20k
     PYTHONPATH=src python benchmarks/bench_backends.py --end-to-end
+    PYTHONPATH=src python benchmarks/bench_backends.py --sizes 50000 \
+        --seed-max 0 --workers 8 # sharded backend on an 8-way pool
+    PYTHONPATH=src python benchmarks/bench_backends.py --large-target \
+        --sizes 20000            # t = 0.9 n memory/latency profile
 
 ``--end-to-end`` additionally runs the private ``good_radius`` release itself
 per backend, demonstrating the n = 20k, d = 2 case that was out of reach for
-the seed's dense matrix.
+the seed's dense matrix.  ``--large-target`` switches to the outlier-screening
+profile (``t = 0.9 n``): it reports wall-clock *and* tracemalloc peak memory
+for the persisted ``O(n*t)`` statistic versus the radii-chunked streaming
+walk, which stays ``O(n * block)`` at every target.
 """
 
 from __future__ import annotations
 
 import argparse
 import time
+import tracemalloc
 
 import numpy as np
 
@@ -34,6 +43,13 @@ from repro.geometry.grid import GridDomain
 from repro.neighbors import BACKENDS, auto_backend
 
 DIMENSION = 2
+
+
+def make_backend(name: str, points: np.ndarray, workers):
+    """Build one registry backend, honouring ``--workers`` for "sharded"."""
+    if name == "sharded":
+        return BACKENDS[name](points, num_workers=workers)
+    return BACKENDS[name](points)
 
 
 def seed_dense_profile(points: np.ndarray, radii: np.ndarray,
@@ -57,7 +73,8 @@ def seed_dense_profile(points: np.ndarray, radii: np.ndarray,
     return result
 
 
-def bench_one(n: int, seed_max: int, end_to_end: bool, rng_seed: int) -> list:
+def bench_one(n: int, seed_max: int, end_to_end: bool, rng_seed: int,
+              workers=None, backend_names=None) -> list:
     target = max(100, n // 50)
     data = planted_cluster(n=n, d=DIMENSION, cluster_size=2 * target,
                            cluster_radius=0.05, rng=rng_seed)
@@ -84,9 +101,9 @@ def bench_one(n: int, seed_max: int, end_to_end: bool, rng_seed: int) -> list:
                      "auto_pick": "(skipped: --seed-max)"})
 
     auto_pick = auto_backend(n, DIMENSION)
-    for name, factory in BACKENDS.items():
+    for name in (backend_names or BACKENDS):
         start = time.perf_counter()
-        backend = factory(points)
+        backend = make_backend(name, points, workers)
         profile = backend.capped_average_scores(radii, target)
         seconds = time.perf_counter() - start
         if reference is not None:
@@ -99,10 +116,46 @@ def bench_one(n: int, seed_max: int, end_to_end: bool, rng_seed: int) -> list:
                "auto_pick": "*" if name == auto_pick else ""}
         if end_to_end:
             start = time.perf_counter()
-            result = good_radius(points, target, params, rng=0, backend=name)
+            result = good_radius(points, target, params, rng=0, backend=backend)
             row["good_radius_s"] = time.perf_counter() - start
             row["released_radius"] = result.radius
+        if name == "sharded":
+            backend.close()
         rows.append(row)
+    return rows
+
+
+def bench_large_target(n: int, rng_seed: int, workers=None) -> list:
+    """The outlier-screening profile: ``t = 0.9 n``, persisted vs streaming.
+
+    Reports wall-clock seconds and tracemalloc peak MB; the streaming walk
+    must stay far below the ``8 n t`` bytes the persisted statistic costs.
+    """
+    target = int(0.9 * n)
+    data = planted_cluster(n=n, d=DIMENSION, cluster_size=target,
+                           cluster_radius=0.3, rng=rng_seed)
+    points = data.points
+    radii = np.linspace(0.0, 1.2, 24)
+    rows = []
+    for name in ("chunked", "tree", "sharded"):
+        for streaming in (False, True):
+            backend = make_backend(name, points, workers)
+            tracemalloc.start()
+            start = time.perf_counter()
+            scores = backend.capped_average_scores(radii, target,
+                                                   streaming=streaming)
+            seconds = time.perf_counter() - start
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            if name == "sharded":
+                backend.close()
+            rows.append({
+                "n": n, "t": target, "backend": name,
+                "mode": "streaming" if streaming else "persisted",
+                "profile_s": seconds, "peak_mb": peak / 1e6,
+                "persisted_mb": 8 * n * min(target, n) / 1e6,
+                "score_at_max": float(scores[-1]),
+            })
     return rows
 
 
@@ -115,13 +168,40 @@ def main() -> None:
                              "reference is run (lower this on small machines)")
     parser.add_argument("--end-to-end", action="store_true",
                         help="also time the full private good_radius release")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker-process count for the sharded backend "
+                             "(default: CPU count; 0 = serial fallback)")
+    parser.add_argument("--backends", nargs="+", default=None,
+                        choices=sorted(BACKENDS),
+                        help="restrict the compared backends (e.g. skip the "
+                             "O(n^2)-memory dense matrix at n >= 50k: "
+                             "--backends chunked tree sharded)")
+    parser.add_argument("--large-target", action="store_true",
+                        help="profile t = 0.9 n (outlier screening): "
+                             "persisted vs streaming L(r, S), with peak "
+                             "memory")
     parser.add_argument("--rng", type=int, default=0)
     args = parser.parse_args()
+
+    if args.large_target:
+        all_rows = []
+        for n in args.sizes:
+            print(f"profiling t = 0.9 n at n={n} ...", flush=True)
+            all_rows.extend(bench_large_target(n, args.rng, args.workers))
+        print()
+        print(format_table(all_rows, columns=[
+            "n", "t", "backend", "mode", "profile_s", "peak_mb",
+            "persisted_mb", "score_at_max",
+        ]))
+        print("\n(persisted_mb = the 8*n*t bytes the O(n*t) statistic would "
+              "hold; the streaming rows must peak far below it)")
+        return
 
     all_rows = []
     for n in args.sizes:
         print(f"benchmarking n={n} ...", flush=True)
-        all_rows.extend(bench_one(n, args.seed_max, args.end_to_end, args.rng))
+        all_rows.extend(bench_one(n, args.seed_max, args.end_to_end, args.rng,
+                                  args.workers, args.backends))
     print()
     columns = ["n", "t", "backend", "profile_s", "speedup", "auto_pick"]
     if args.end_to_end:

@@ -40,6 +40,7 @@ from repro.neighbors import (
     DenseBackend,
     ChunkedBackend,
     TreeBackend,
+    ShardedBackend,
     auto_backend,
     resolve_backend,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "DenseBackend",
     "ChunkedBackend",
     "TreeBackend",
+    "ShardedBackend",
     "auto_backend",
     "resolve_backend",
     "k_cluster",

@@ -96,13 +96,14 @@ def exponential_mechanism_cluster(points, target: int, params: PrivacyParams,
     neighbor_backend = resolve_backend(points, backend)
 
     # Binary search for the smallest radius capturing ~t points at some
-    # centre.  The max-count score has sensitivity 1 in the database.
+    # centre.  The max-count score has sensitivity 1 in the database.  The
+    # batched count_within_many call fuses a whole probe batch into one
+    # backend request (one distance pass per slab instead of one per radius;
+    # one fan-out per shard when the backend is sharded).
     def batch_scores(indices: np.ndarray) -> np.ndarray:
         radii = candidate_radii[np.asarray(indices, dtype=np.int64)]
-        return np.array([
-            float(neighbor_backend.query_radius_counts(centers, float(radius)).max())
-            for radius in radii
-        ])
+        counts = neighbor_backend.count_within_many(centers, radii)
+        return counts.max(axis=1).astype(float)
 
     monotone = CallableQuality(
         function=lambda index: batch_scores(np.array([index]))[0],

@@ -91,7 +91,10 @@ def k_cluster(points, k: int, params: PrivacyParams, target: Optional[int] = Non
     backend:
         Neighbor-backend selection forwarded to every iteration.  Pass a name
         or class (not an instance): the point set shrinks between iterations,
-        so each call must index its own remaining points.
+        so each call must index its own remaining points.  (With
+        ``"sharded"`` this also means each iteration starts its own worker
+        pool; at the sizes where sharding pays off that start-up cost is
+        noise.)
 
     Returns
     -------

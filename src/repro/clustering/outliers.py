@@ -61,7 +61,19 @@ class OutlierScreen:
         return self.ball.contains(points)
 
     def outlier_mask(self, points) -> np.ndarray:
-        """Boolean mask of the *outliers* (points outside the ball)."""
+        """Boolean mask of the *outliers* (points outside the ball).
+
+        Parameters
+        ----------
+        points:
+            ``(n, d)`` points to screen (need not be the training data —
+            the predicate is a fixed public function once released).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n,)`` boolean mask, ``True`` for outliers.
+        """
         return ~self.predicate(points)
 
 
@@ -96,7 +108,17 @@ def outlier_ball(points, params: PrivacyParams, inlier_fraction: float = 0.9,
     domain, config, rng, ledger:
         As in :func:`~repro.core.one_cluster.one_cluster`.
     backend:
-        Neighbor-backend selection forwarded to the 1-cluster call.
+        Neighbor-backend selection forwarded to the 1-cluster call.  Outlier
+        screening is the large-target regime (``t ~ 0.9 n``), where the
+        backends automatically switch to the radii-chunked streaming
+        ``L(r, S)`` walk — ``O(n * block)`` memory instead of the ``O(n * t)``
+        persisted statistic.
+
+    Returns
+    -------
+    OutlierScreen
+        The released ball (or an all-pass screen when the solver abstained)
+        and the post-processing predicate it defines.
     """
     points = check_points(points)
     check_probability(inlier_fraction, "inlier_fraction")

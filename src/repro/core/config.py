@@ -116,7 +116,23 @@ class GoodCenterConfig:
     # ------------------------------------------------------------------ #
     def projection_dimension(self, num_points: int, beta: float,
                              ambient_dimension: int = None) -> int:
-        """The JL target dimension ``k`` (capped at the ambient dimension)."""
+        """The JL target dimension ``k`` of Algorithm 2, step 1.
+
+        Parameters
+        ----------
+        num_points:
+            The database size ``n``.
+        beta:
+            The failure probability the projection must survive.
+        ambient_dimension:
+            When given, ``k`` is capped at it (a square random projection
+            gains nothing, so the cap binding means "use the identity").
+
+        Returns
+        -------
+        int
+            ``k = max(1, ceil(jl_constant * ln(2 n / beta)))``, capped.
+        """
         k = max(1, int(math.ceil(self.jl_constant * math.log(2.0 * num_points / beta))))
         if ambient_dimension is not None:
             k = min(k, max(1, ambient_dimension))
@@ -152,7 +168,20 @@ class GoodCenterConfig:
         return per_axis ** k
 
     def max_attempts(self, num_points: int, beta: float) -> int:
-        """The cap on partition attempts (Algorithm 2, step 6)."""
+        """The cap on partition attempts (Algorithm 2, step 6).
+
+        Parameters
+        ----------
+        num_points:
+            The database size ``n``.
+        beta:
+            The per-call failure probability.
+
+        Returns
+        -------
+        int
+            ``ceil(max_attempt_factor * n * log(1/beta) / beta)``, at least 1.
+        """
         return max(1, int(math.ceil(
             self.max_attempt_factor * num_points * math.log(1.0 / beta) / beta
         )))
@@ -218,9 +247,16 @@ class OneClusterConfig:
         points per axis).
     neighbor_backend:
         Which :mod:`repro.neighbors` strategy answers the distance queries:
-        ``"auto"`` (default; picks by workload size), ``"dense"``,
-        ``"chunked"``, or ``"tree"``.  Affects performance only — every
-        backend returns identical counts and scores.
+        ``"auto"`` (default; picks by workload size — dense, then sharded
+        above ``SHARDED_MIN_POINTS`` on multi-CPU machines, then tree /
+        chunked), ``"dense"``, ``"chunked"``, ``"tree"``, or ``"sharded"``.
+        Affects performance only — every backend returns identical counts and
+        scores.
+    neighbor_workers:
+        Worker-process count for ``neighbor_backend="sharded"`` (``0`` forces
+        the serial in-process fallback, ``None`` — the default — sizes the
+        pool from the CPU count).  Only consulted when ``neighbor_backend``
+        is exactly ``"sharded"``.
     """
 
     center: GoodCenterConfig = field(default_factory=GoodCenterConfig.practical)
@@ -229,6 +265,7 @@ class OneClusterConfig:
     radius_budget_fraction: float = 0.35
     grid_side: int = 1025
     neighbor_backend: str = "auto"
+    neighbor_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.radius_method not in ("recconcave", "binary_search"):
@@ -248,6 +285,22 @@ class OneClusterConfig:
                 f"neighbor_backend must be one of {sorted(valid)}, got "
                 f"{self.neighbor_backend!r}"
             )
+        if self.neighbor_workers is not None and self.neighbor_workers < 0:
+            raise ValueError(
+                f"neighbor_workers must be non-negative or None, got "
+                f"{self.neighbor_workers}"
+            )
+
+    def neighbor_backend_options(self) -> dict:
+        """Constructor options for :func:`repro.neighbors.resolve_backend`.
+
+        Non-empty only for the sharded strategy (the single-process backends
+        take no tuning knobs from this config), so the options can always be
+        passed through safely.
+        """
+        if self.neighbor_backend == "sharded" and self.neighbor_workers is not None:
+            return {"num_workers": self.neighbor_workers}
+        return {}
 
     @classmethod
     def paper(cls) -> "OneClusterConfig":

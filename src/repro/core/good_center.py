@@ -52,6 +52,7 @@ from repro.geometry.rotation import project_onto_basis, random_orthonormal_basis
 from repro.mechanisms.above_threshold import AboveThreshold
 from repro.mechanisms.histogram import stable_histogram_choice
 from repro.mechanisms.noisy_average import noisy_average
+from repro.neighbors import BackendLike, resolve_backend
 from repro.utils.rng import RngLike, spawn_generators
 from repro.utils.validation import check_integer, check_points, check_positive, check_probability
 
@@ -64,7 +65,8 @@ def _failure(attempts: int, k: int) -> GoodCenterResult:
 def good_center(points, radius: float, target: int, params: PrivacyParams,
                 beta: float = 0.1, config: Optional[GoodCenterConfig] = None,
                 rng: RngLike = None,
-                ledger: Optional[PrivacyLedger] = None) -> GoodCenterResult:
+                ledger: Optional[PrivacyLedger] = None,
+                backend: BackendLike = None) -> GoodCenterResult:
     """Privately locate the centre of a ball of radius ``~ radius`` holding
     ``~ target`` points.
 
@@ -89,6 +91,13 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
         Seed or generator.
     ledger:
         Optional privacy ledger.
+    backend:
+        Optional neighbor-backend selection.  Grid hashing is a radius-count
+        in disguise: when the resolved backend exposes batched heaviest-cell
+        counting (the sharded backend) and the projection is the identity,
+        the partition-search loop precomputes its AboveThreshold queries in
+        batches across the worker shards.  Pure performance — the sequence of
+        queries, and hence the release distribution, is unchanged.
 
     Returns
     -------
@@ -113,7 +122,15 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
     axes_epsilon = params.epsilon * axes_fraction
     avg_epsilon = params.epsilon * avg_fraction
     quarter_delta = params.delta / 4.0
-    (jl_rng, partition_rng, box_rng, basis_rng, axis_rng, avg_rng) = spawn_generators(rng, 6)
+    # The partition *shift* draws get their own stream (shift_rng), separate
+    # from AboveThreshold's noise stream (partition_rng): the backend-batched
+    # search below draws a few shifts ahead of their AboveThreshold queries,
+    # and with a shared stream that lookahead would reorder the noise draws —
+    # i.e. the backend choice would change the release.  With split streams
+    # the query sequence, and hence the output distribution, is identical
+    # whether or not the batched path runs.
+    (jl_rng, partition_rng, box_rng, basis_rng, axis_rng, avg_rng,
+     shift_rng) = spawn_generators(rng, 7)
 
     # ------------------------------------------------------------------ #
     # Step 1: Johnson-Lindenstrauss projection (identity when k reaches d).
@@ -141,15 +158,36 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
         ledger.record("above_threshold", PrivacyParams(at_epsilon, 0.0),
                       note="GoodCenter partition search")
     width = config.box_width(radius, k, identity_projection)
+
+    # Optional backend acceleration of the heaviest-cell query.  Only the
+    # identity projection is eligible: the backend indexes the *input* points,
+    # and re-projecting per shard could differ from the parent's projection in
+    # the last ulp, which the exact-parity contract forbids.
+    cell_counter = None
+    batch_size = 1
+    if backend is not None and identity_projection:
+        resolved = resolve_backend(points, backend)
+        cell_counter = getattr(resolved, "heaviest_cell_counts", None)
+        if cell_counter is not None:
+            batch_size = int(getattr(resolved, "HEAVIEST_CELL_BATCH", 8))
+
     chosen_partition: Optional[ShiftedBoxPartition] = None
     attempts = 0
-    for _ in range(max_attempts):
-        attempts += 1
-        partition = ShiftedBoxPartition(dimension=k, width=width, rng=partition_rng)
-        answer = above.query(partition.heaviest_cell_count(projected))
-        if answer.above:
-            chosen_partition = partition
-            break
+    while attempts < max_attempts and chosen_partition is None:
+        batch = [
+            ShiftedBoxPartition(dimension=k, width=width, rng=shift_rng)
+            for _ in range(min(batch_size, max_attempts - attempts))
+        ]
+        if cell_counter is not None:
+            counts = cell_counter(width, np.stack([p.shifts for p in batch]))
+        else:
+            counts = [p.heaviest_cell_count(projected) for p in batch]
+        for partition, count in zip(batch, counts):
+            attempts += 1
+            answer = above.query(int(count))
+            if answer.above:
+                chosen_partition = partition
+                break
     if chosen_partition is None:
         return _failure(attempts, k)
 

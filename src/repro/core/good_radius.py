@@ -6,8 +6,8 @@ contains at least ``t - O(Gamma)`` input points and ``z <= 4 r_opt``.
 
 The algorithm:
 
-1. Computes the sensitivity-2 capped-average score
-   ``L(r, S)`` (see :func:`repro.geometry.balls.capped_average_score`).
+1. Computes the sensitivity-2 capped-average score ``L(r, S)`` through the
+   pluggable :mod:`repro.neighbors` backend layer (see :class:`RadiusScore`).
 2. Early-exits with radius 0 if a Laplace-noised ``L(0, S)`` is already close
    to ``t`` (a cluster of identical points).
 3. Otherwise defines the sensitivity-1, quasi-concave quality
@@ -42,15 +42,31 @@ class RadiusScore:
     """Evaluator of the capped-average score ``L(r, S)``.
 
     A thin wrapper over a :class:`~repro.neighbors.NeighborBackend`: the
-    backend owns the distance computation strategy (dense matrix, blocked, or
-    KD-tree), caches the per-point truncated-distance statistic, and batches
-    whole radius grids in one call — so the evaluator never materialises an
+    backend owns the distance computation strategy (dense matrix, blocked,
+    KD-tree, or a shard-per-process pool), caches the per-point
+    truncated-distance statistic — switching to the radii-chunked streaming
+    walk for large targets, where nothing is persisted — and batches whole
+    radius grids in one call.  The evaluator therefore never materialises an
     ``(n, n)`` matrix unless the dense backend was explicitly chosen (or
     selected automatically at small ``n``).
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` input database.
+    target:
+        The target cluster size ``t`` (also the count cap); ``1 <= t <= n``.
+    backend:
+        Neighbor-backend selection (name, class, instance, or ``None`` for
+        automatic); see :func:`repro.neighbors.resolve_backend`.
+    backend_options:
+        Constructor options applied when the backend is built here (e.g.
+        ``{"num_workers": 4}`` for ``backend="sharded"``).
     """
 
     def __init__(self, points: np.ndarray, target: int,
-                 backend: BackendLike = None) -> None:
+                 backend: BackendLike = None,
+                 backend_options: Optional[dict] = None) -> None:
         points = check_points(points)
         self._n = points.shape[0]
         self._target = check_integer(target, "target", minimum=1)
@@ -58,7 +74,8 @@ class RadiusScore:
             raise ValueError(
                 f"target ({target}) cannot exceed the number of points ({self._n})"
             )
-        self._backend = resolve_backend(points, backend)
+        self._backend = resolve_backend(points, backend,
+                                        options=backend_options)
 
     @property
     def num_points(self) -> int:
@@ -76,12 +93,25 @@ class RadiusScore:
         return self._backend
 
     def evaluate(self, radii) -> np.ndarray:
-        """``L(r, S)`` for every radius in ``radii`` (negative radii give 0)."""
+        """``L(r, S)`` for every radius in ``radii`` (Algorithm 1, step 1).
+
+        Parameters
+        ----------
+        radii:
+            Scalar or ``(m,)`` array of radii; negative radii give score 0.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(m,)`` float scores in the order supplied, evaluated in one
+            batched backend call (one merge-walk / streaming pass for the
+            whole grid).
+        """
         radii = np.atleast_1d(np.asarray(radii, dtype=float))
         return self._backend.capped_average_scores(radii, self._target)
 
     def evaluate_single(self, radius: float) -> float:
-        """``L(radius, S)`` for one radius."""
+        """``L(radius, S)`` for one radius (see :meth:`evaluate`)."""
         return float(self.evaluate(np.array([radius]))[0])
 
 
@@ -151,9 +181,12 @@ def good_radius(points, target: int, params: PrivacyParams, beta: float = 0.1,
         raise ValueError("good_radius requires delta > 0 (RecConcave and Gamma need it)")
 
     domain = _resolve_domain(points, domain, config.grid_side)
+    backend_options = None
     if backend is None:
         backend = config.neighbor_backend
-    score = RadiusScore(points, target, backend=backend)
+        backend_options = config.neighbor_backend_options() or None
+    score = RadiusScore(points, target, backend=backend,
+                        backend_options=backend_options)
     laplace_rng, search_rng = spawn_generators(rng, 2)
 
     half = params.part(0.5)
@@ -189,8 +222,13 @@ def good_radius(points, target: int, params: PrivacyParams, beta: float = 0.1,
     # ------------------------------------------------------------------ #
     def batch_quality(indices: np.ndarray) -> np.ndarray:
         radii = candidate_radii[indices]
-        values_at_r = score.evaluate(radii)
-        values_at_half = score.evaluate(radii / 2.0)
+        # One fused backend call for L(r) and L(r/2): each radius is scored
+        # independently inside the profile walk, so batching never changes a
+        # value — it halves the merge-walk passes (and, for the sharded
+        # backend, the per-shard round trips).
+        values = score.evaluate(np.concatenate([radii, radii / 2.0]))
+        values_at_r = values[:radii.shape[0]]
+        values_at_half = values[radii.shape[0]:]
         return 0.5 * np.minimum(
             target - values_at_half,
             values_at_r - target + 4.0 * gamma,

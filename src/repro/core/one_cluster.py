@@ -22,7 +22,7 @@ from repro.core.types import GoodCenterResult, GoodRadiusResult, OneClusterResul
 from repro.geometry.balls import Ball
 from repro.geometry.grid import GridDomain
 from repro.mechanisms.histogram import stable_histogram_choice
-from repro.neighbors import BackendLike
+from repro.neighbors import BackendLike, resolve_backend
 from repro.utils.rng import RngLike, spawn_generators
 from repro.utils.validation import check_integer, check_points, check_probability
 
@@ -87,8 +87,11 @@ def one_cluster(points, target: int, params: PrivacyParams, beta: float = 0.1,
         Optional :class:`~repro.accounting.ledger.PrivacyLedger` recording
         every sub-mechanism spend.
     backend:
-        Neighbor-backend selection for the distance-heavy GoodRadius phase
-        (name, class, or instance); overrides ``config.neighbor_backend``.
+        Neighbor-backend selection (name, class, or instance); overrides
+        ``config.neighbor_backend``.  Resolved once and shared by both
+        phases: GoodRadius reuses its cached distance statistics and
+        GoodCenter batches its partition search through the same instance
+        (one worker pool, not two, when the backend is sharded).
         Performance only — the output distribution is backend-independent.
 
     Returns
@@ -115,9 +118,19 @@ def one_cluster(points, target: int, params: PrivacyParams, beta: float = 0.1,
     radius_params, center_params = params.split(fraction, 1.0 - fraction)
     half_beta = beta / 2.0
 
+    # Resolve the backend once so both phases share one instance (cached
+    # truncated statistics, and a single worker pool for "sharded").
+    if backend is None:
+        shared_backend = resolve_backend(
+            points, config.neighbor_backend,
+            options=config.neighbor_backend_options() or None,
+        )
+    else:
+        shared_backend = resolve_backend(points, backend)
+
     radius_result: GoodRadiusResult = good_radius(
         points, target, radius_params, beta=half_beta, domain=domain,
-        config=config, rng=radius_rng, ledger=ledger, backend=backend,
+        config=config, rng=radius_rng, ledger=ledger, backend=shared_backend,
     )
 
     if radius_result.zero_cluster or radius_result.radius <= 0.0:
@@ -129,6 +142,7 @@ def one_cluster(points, target: int, params: PrivacyParams, beta: float = 0.1,
         center_result = good_center(
             points, radius_result.radius, target, center_params,
             beta=half_beta, config=config.center, rng=center_rng, ledger=ledger,
+            backend=shared_backend,
         )
 
     if center_result.found:

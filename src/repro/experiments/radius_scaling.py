@@ -8,10 +8,12 @@ ratio; the expected shape is a slowly growing (roughly sqrt-log) curve,
 contrasted with the ``sqrt(d)``-scaling of the private-aggregation baseline
 measured in E4.
 
-The sweep can additionally compare neighbor backends (``backends=``): every
-backend returns identical scores, so the per-``n`` rows differ only in the
-``seconds`` column — which is exactly the backend speedup the refactor is
-after.
+The sweep can additionally compare neighbor backends (``backends=``, e.g.
+``("dense", "tree", "sharded")``): every backend returns identical scores, so
+the per-``n`` rows differ only in the ``seconds`` column — which is exactly
+the backend speedup the refactor is after.  The multi-process sharded backend
+can also be requested per run through
+``OneClusterConfig(neighbor_backend="sharded", neighbor_workers=...)``.
 """
 
 from __future__ import annotations

@@ -24,6 +24,34 @@ from repro.utils.rng import RngLike, as_generator
 from repro.utils.validation import check_points, check_positive
 
 
+def box_labels(points: np.ndarray, shifts: np.ndarray,
+               width: float) -> np.ndarray:
+    """Integer box-index vectors of every point under a shifted partition.
+
+    The single definition of the grid hash ``floor((x - shift) / width)``.
+    Both :meth:`ShiftedBoxPartition.label_array` and the sharded backend's
+    distributed heaviest-cell counting call this helper, so the two code
+    paths are bit-identical by construction — which is what lets GoodCenter's
+    backend-batched partition search promise the exact same AboveThreshold
+    queries as the serial loop.
+
+    Parameters
+    ----------
+    points:
+        ``(n, k)`` points.
+    shifts:
+        ``(k,)`` per-axis shift vector.
+    width:
+        The box side length.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, k)`` ``int64`` per-axis box indices.
+    """
+    return np.floor((points - shifts[None, :]) / width).astype(np.int64)
+
+
 @dataclass(frozen=True)
 class Box:
     """An axis-aligned box given by per-axis lower and upper bounds."""
@@ -99,7 +127,7 @@ class ShiftedBoxPartition:
     def label_array(self, points) -> np.ndarray:
         """The ``(n, k)`` integer index vectors of every point's box."""
         points = check_points(points, dimension=self.dimension)
-        return np.floor((points - self.shifts[None, :]) / self.width).astype(np.int64)
+        return box_labels(points, self.shifts, self.width)
 
     def labels(self, points) -> list:
         """The box label (a tuple of per-axis indices) of every point."""
@@ -171,4 +199,4 @@ class AxisIntervalPartition:
         return low - margin, high + margin
 
 
-__all__ = ["Box", "ShiftedBoxPartition", "AxisIntervalPartition"]
+__all__ = ["Box", "ShiftedBoxPartition", "AxisIntervalPartition", "box_labels"]

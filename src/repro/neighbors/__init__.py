@@ -1,9 +1,10 @@
 """Pluggable distance-query backends (the ``NeighborBackend`` layer).
 
-The 1-cluster pipeline only ever asks three questions about the geometry of
-its input — per-point ball counts, ball counts around arbitrary centres, and
-each point's ``k`` smallest distances.  This package hides those questions
-behind the :class:`~repro.neighbors.base.NeighborBackend` protocol with three
+The 1-cluster pipeline only ever asks a few questions about the geometry of
+its input — per-point ball counts, ball counts around arbitrary centres
+(single-radius or batched over a radius grid), and each point's ``k``
+smallest distances.  This package hides those questions behind the
+:class:`~repro.neighbors.base.NeighborBackend` protocol with four
 interchangeable strategies:
 
 * :class:`~repro.neighbors.dense.DenseBackend` — the full row-sorted
@@ -13,23 +14,33 @@ interchangeable strategies:
 * :class:`~repro.neighbors.tree.TreeBackend` — scipy ``cKDTree`` (pure-python
   KD-tree fallback) radius counting; the right choice for large ``n`` in low
   dimension.
+* :class:`~repro.neighbors.sharded.ShardedBackend` — the dataset sharded
+  across worker processes over a shared-memory block, each shard answered by
+  one of the strategies above, per-shard results merged exactly; the right
+  choice for very large ``n`` on multi-core machines.
 
 All strategies return *identical* integer counts and bit-identical ``L(r, S)``
 values (see :mod:`repro.neighbors._distance` for why), so swapping backends
 changes performance only — callers pick one per workload via
 :func:`auto_backend` / the ``backend=`` argument threaded through
-``one_cluster``/``good_radius`` and the clustering applications.
+``one_cluster``/``good_radius``/``good_center`` and the clustering
+applications.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Union
+from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
-from repro.neighbors.base import NeighborBackend
+from repro.neighbors.base import (
+    STREAMING_MIN_POINTS,
+    STREAMING_TARGET_FRACTION,
+    NeighborBackend,
+)
 from repro.neighbors.chunked import ChunkedBackend
 from repro.neighbors.dense import DenseBackend
+from repro.neighbors.sharded import ShardedBackend, _available_cpus
 from repro.neighbors.tree import HAVE_SCIPY_TREE, TreeBackend
 from repro.utils.validation import check_points
 
@@ -38,6 +49,7 @@ BACKENDS: Dict[str, Callable[..., NeighborBackend]] = {
     DenseBackend.name: DenseBackend,
     ChunkedBackend.name: ChunkedBackend,
     TreeBackend.name: TreeBackend,
+    ShardedBackend.name: ShardedBackend,
 }
 
 #: Everything ``backend=`` arguments accept: a strategy name (or "auto"),
@@ -50,36 +62,79 @@ DENSE_MAX_POINTS = 2048
 #: Largest dimension for which KD-trees still beat blocked brute force.
 TREE_MAX_DIMENSION = 8
 
+#: Smallest n for which the multi-process sharded backend is the default
+#: choice (given more than one CPU): below it, process start-up and
+#: per-query fan-out overheads beat the parallel speedup.
+SHARDED_MIN_POINTS = 100_000
+
 
 def auto_backend(num_points: int, dimension: int) -> str:
     """Pick a backend name for an ``(n, d)`` workload.
 
-    Heuristics: below ``DENSE_MAX_POINTS`` the dense matrix fits comfortably
-    (32 MiB) and amortises best over the thousands of radii GoodRadius
-    probes; beyond that, KD-trees win while the dimension is moderate
-    (``d <= TREE_MAX_DIMENSION`` — higher dimensions degrade tree pruning to
-    brute force with extra overhead), and blocked brute force is the safe
-    choice otherwise.
+    Heuristics, in order:
+
+    * ``n <= DENSE_MAX_POINTS`` — the dense matrix fits comfortably (32 MiB)
+      and amortises best over the thousands of radii GoodRadius probes.
+    * ``n >= SHARDED_MIN_POINTS`` with more than one usable CPU — shard the
+      points across worker processes; each shard is answered by its own
+      auto-chosen single-process backend, so this dominates whichever
+      strategy would otherwise win.
+    * ``d <= TREE_MAX_DIMENSION`` (scipy available) — KD-trees; higher
+      dimensions degrade tree pruning to brute force with extra overhead.
+    * otherwise — blocked brute force, the safe choice at any size.
+
+    Parameters
+    ----------
+    num_points:
+        The dataset size ``n``.
+    dimension:
+        The ambient dimension ``d``.
+
+    Returns
+    -------
+    str
+        A :data:`BACKENDS` registry name.
     """
     if num_points <= DENSE_MAX_POINTS:
         return DenseBackend.name
+    if num_points >= SHARDED_MIN_POINTS and _available_cpus() > 1:
+        return ShardedBackend.name
     if dimension <= TREE_MAX_DIMENSION and HAVE_SCIPY_TREE:
         return TreeBackend.name
     return ChunkedBackend.name
 
 
-def resolve_backend(points, backend: BackendLike = None) -> NeighborBackend:
+def resolve_backend(points, backend: BackendLike = None,
+                    options: Optional[dict] = None) -> NeighborBackend:
     """Turn a ``backend=`` argument into a ready :class:`NeighborBackend`.
 
-    Accepts ``None`` / ``"auto"`` (size-based selection via
-    :func:`auto_backend`), a registry name (``"dense"``, ``"chunked"``,
-    ``"tree"``), a backend class, or an existing instance (which must have
-    been built over the same dataset).
+    Parameters
+    ----------
+    points:
+        The ``(n, d)`` dataset the backend must index.
+    backend:
+        ``None`` / ``"auto"`` (size-based selection via :func:`auto_backend`),
+        a registry name (``"dense"``, ``"chunked"``, ``"tree"``,
+        ``"sharded"``), a backend class, or an existing instance (which must
+        have been built over the same dataset).
+    options:
+        Optional constructor keyword arguments applied when a backend is
+        *built* here (name or class), e.g. ``{"num_workers": 4}`` for the
+        sharded backend.  Rejected when ``backend`` is already an instance.
+
+    Returns
+    -------
+    NeighborBackend
     """
     points = check_points(points)
     if backend is None:
         backend = "auto"
     if isinstance(backend, NeighborBackend):
+        if options:
+            raise ValueError(
+                "backend options cannot be applied to an already-built "
+                "instance; pass a backend name or class instead"
+            )
         if backend.points.shape != points.shape or not (
             backend.points is points or np.array_equal(backend.points, points)
         ):
@@ -90,7 +145,7 @@ def resolve_backend(points, backend: BackendLike = None) -> NeighborBackend:
             )
         return backend
     if isinstance(backend, type) and issubclass(backend, NeighborBackend):
-        return backend(points)
+        return backend(points, **(options or {}))
     if isinstance(backend, str):
         name = backend.lower()
         if name == "auto":
@@ -100,7 +155,7 @@ def resolve_backend(points, backend: BackendLike = None) -> NeighborBackend:
                 f"unknown backend {backend!r}; expected 'auto' or one of "
                 f"{sorted(BACKENDS)}"
             )
-        return BACKENDS[name](points)
+        return BACKENDS[name](points, **(options or {}))
     raise TypeError(
         f"backend must be None, a name, a NeighborBackend class or instance; "
         f"got {type(backend).__name__}"
@@ -111,12 +166,16 @@ __all__ = [
     "BACKENDS",
     "BackendLike",
     "DENSE_MAX_POINTS",
+    "SHARDED_MIN_POINTS",
+    "STREAMING_MIN_POINTS",
+    "STREAMING_TARGET_FRACTION",
     "TREE_MAX_DIMENSION",
     "HAVE_SCIPY_TREE",
     "NeighborBackend",
     "DenseBackend",
     "ChunkedBackend",
     "TreeBackend",
+    "ShardedBackend",
     "auto_backend",
     "resolve_backend",
 ]

@@ -28,6 +28,18 @@ except ImportError:  # pragma: no cover - scipy-less environments
 DEFAULT_MEMORY_BUDGET = 64 * 1024 * 1024
 
 
+def squared_radius_keys(radii: np.ndarray) -> np.ndarray:
+    """Map radii to squared-space search keys; negative radii match nothing.
+
+    The single definition of the "negative radius means an empty ball"
+    convention (the paper's ``B_r = 0`` for ``r < 0``): every count/score
+    path compares exact squared distances (all ``>= 0``) against these keys,
+    so sharing the mapping is part of the cross-backend parity contract.
+    """
+    radii = np.asarray(radii, dtype=float)
+    return np.where(radii < 0, -1.0, radii * radii)
+
+
 def squared_distance_block(queries: np.ndarray, data: np.ndarray) -> np.ndarray:
     """Exact ``(q, n)`` squared Euclidean distances, by direct differencing."""
     if _cdist is not None:
@@ -63,6 +75,44 @@ def blocked_radius_counts(queries: np.ndarray, data: np.ndarray,
     return counts
 
 
+def blocked_radius_counts_many(queries: np.ndarray, data: np.ndarray,
+                               radii: np.ndarray,
+                               block_size: int) -> np.ndarray:
+    """Counts of ``data`` within each of several ``radii`` of every query.
+
+    The fused form of :func:`blocked_radius_counts`: each ``(block, n)``
+    distance slab is computed once and compared against every squared radius,
+    so ``m`` radii cost one distance pass instead of ``m``.
+
+    Parameters
+    ----------
+    queries:
+        ``(q, d)`` query centres.
+    data:
+        ``(n, d)`` dataset.
+    radii:
+        ``(m,)`` radii; negative entries yield all-zero counts.
+    block_size:
+        How many query rows each blocked pass processes.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(m, q)`` ``int64`` counts; row ``j`` holds the counts at
+        ``radii[j]``.
+    """
+    radii = np.atleast_1d(np.asarray(radii, dtype=float))
+    keys = squared_radius_keys(radii)
+    counts = np.empty((keys.shape[0], queries.shape[0]), dtype=np.int64)
+    for start in range(0, queries.shape[0], block_size):
+        squared = squared_distance_block(queries[start:start + block_size], data)
+        for slot, key in enumerate(keys):
+            counts[slot, start:start + squared.shape[0]] = np.count_nonzero(
+                squared <= key, axis=1
+            )
+    return counts
+
+
 def truncated_squared_bruteforce(points: np.ndarray, k: int,
                                  block_size: int) -> np.ndarray:
     """Each point's ``k`` smallest squared distances to the dataset, row-sorted.
@@ -71,10 +121,40 @@ def truncated_squared_bruteforce(points: np.ndarray, k: int,
     matrix: ``O(n * block)`` scratch, ``(n, k)`` output.  Row ``i`` always
     starts with the self-distance 0.
     """
-    n = points.shape[0]
-    out = np.empty((n, k), dtype=float)
-    for start in range(0, n, block_size):
-        squared = squared_distance_block(points[start:start + block_size], points)
+    return truncated_squared_cross(points, points, k, block_size)
+
+
+def truncated_squared_cross(queries: np.ndarray, data: np.ndarray, k: int,
+                            block_size: int) -> np.ndarray:
+    """Each query's ``k`` smallest squared distances to ``data``, row-sorted.
+
+    The cross-set generalisation of :func:`truncated_squared_bruteforce`
+    (which is the ``queries is data`` case): the sharded backend uses it to
+    compute every dataset point's nearest neighbours *within one shard*, whose
+    per-shard results are then merged into the global statistic.
+
+    Parameters
+    ----------
+    queries:
+        ``(q, d)`` query points.
+    data:
+        ``(n, d)`` dataset the distances are measured against.
+    k:
+        How many smallest squared distances to keep per query (capped at
+        ``n``).
+    block_size:
+        How many query rows each blocked pass processes.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(q, min(k, n))`` row-sorted squared distances.
+    """
+    n = data.shape[0]
+    k = min(k, n)
+    out = np.empty((queries.shape[0], k), dtype=float)
+    for start in range(0, queries.shape[0], block_size):
+        squared = squared_distance_block(queries[start:start + block_size], data)
         if k < n:
             squared = np.partition(squared, k - 1, axis=1)[:, :k]
         squared.sort(axis=1)
@@ -82,10 +162,61 @@ def truncated_squared_bruteforce(points: np.ndarray, k: int,
     return out
 
 
+def capped_count_histograms(queries: np.ndarray, data: np.ndarray,
+                            keys: np.ndarray, cap: int,
+                            block_size: int) -> np.ndarray:
+    """Histogram of capped counts ``min(|{y : d2(q, y) <= key}|, cap)``.
+
+    The streaming primitive behind the large-target ``L(r, S)`` walk: for
+    every squared-radius search key it histograms, over the query points, the
+    capped number of dataset points within that key — without ever persisting
+    a per-point truncated-distance statistic.  Memory is ``O(block * n)`` for
+    the distance slab plus ``O(len(keys) * cap)`` for the histograms; callers
+    chunk the keys to bound the latter.
+
+    Parameters
+    ----------
+    queries:
+        ``(q, d)`` query points (a row range of the dataset, for the score).
+    data:
+        ``(n, d)`` dataset the counts are measured against.
+    keys:
+        ``(m,)`` squared-radius search keys (negative keys match nothing);
+        need not be sorted — each key's histogram is independent.
+    cap:
+        The count cap ``t``.
+    block_size:
+        How many query rows each blocked pass processes.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(m, cap + 1)`` ``int64``: entry ``[j, v]`` is how many queries have
+        capped count exactly ``v`` at ``keys[j]``.
+    """
+    keys = np.asarray(keys, dtype=float)
+    histograms = np.zeros((keys.shape[0], cap + 1), dtype=np.int64)
+    slots = np.arange(keys.shape[0])
+    for start in range(0, queries.shape[0], block_size):
+        squared = squared_distance_block(queries[start:start + block_size], data)
+        squared.sort(axis=1)
+        for row in squared:
+            # One binary search per (row, key); rows are sorted, so the count
+            # of entries <= key is the right-insertion position of the key.
+            row_counts = np.searchsorted(row, keys, side="right")
+            np.minimum(row_counts, cap, out=row_counts)
+            histograms[slots, row_counts] += 1
+    return histograms
+
+
 __all__ = [
     "DEFAULT_MEMORY_BUDGET",
     "blocked_radius_counts",
+    "blocked_radius_counts_many",
+    "capped_count_histograms",
     "squared_distance_block",
+    "squared_radius_keys",
     "row_block_size",
     "truncated_squared_bruteforce",
+    "truncated_squared_cross",
 ]

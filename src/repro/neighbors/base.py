@@ -1,12 +1,15 @@
 """The :class:`NeighborBackend` protocol.
 
-A backend is bound to one ``(n, d)`` dataset and answers the three distance
-queries the rest of the library needs:
+A backend is bound to one ``(n, d)`` dataset and answers the distance queries
+the rest of the library needs:
 
 * :meth:`~NeighborBackend.radius_counts` — ``B_r(x_i, S)`` for every dataset
   point (the per-point ball counts of paper Section 3.1);
 * :meth:`~NeighborBackend.query_radius_counts` — the same counts around
   arbitrary query centres (used by the exponential-mechanism baseline);
+* :meth:`~NeighborBackend.count_within_many` — the batched ``(centers,
+  radii)`` grid form, which strategies fuse (one distance pass, or one
+  request per shard, for a whole probe batch);
 * :meth:`~NeighborBackend.kth_distances` — each point's distance to its
   ``k``-th nearest dataset point (the statistic behind the non-private
   factor-2 approximation).
@@ -20,10 +23,15 @@ happen in squared space — ``within radius r`` means ``d2 <= r*r`` — matching
 scipy's KD-tree convention so every backend returns identical integer counts;
 see :mod:`repro.neighbors._distance`.
 
-The derived profile evaluation never materialises an ``(n, m)`` count matrix:
-it merge-walks the globally sorted truncated squared distances against the
-sorted radii and maintains a histogram of capped counts, costing
-``O(n k log(nk) + m (n + k))`` time and ``O(n k)`` memory for ``m`` radii.
+The derived profile evaluation never materialises an ``(n, m)`` count matrix.
+Small targets merge-walk the globally sorted truncated squared distances
+against the sorted radii, maintaining a histogram of capped counts —
+``O(n k log(nk) + m (n + k))`` time, ``O(n k)`` memory for ``m`` radii.
+Large targets (by default ``t > n/2`` at ``n >= 8192``) switch to a
+radii-chunked *streaming* walk that recomputes blocked distance passes per
+radius chunk and persists nothing — ``O(n * block + chunk * t)`` memory at
+every target, which keeps outlier screening (``t ~ 0.9 n``) off the
+``O(n^2)``-memory cliff.  Both paths are bit-identical.
 """
 
 from __future__ import annotations
@@ -33,12 +41,67 @@ from typing import ClassVar, Optional, Tuple
 
 import numpy as np
 
+from repro.neighbors._distance import (
+    DEFAULT_MEMORY_BUDGET,
+    capped_count_histograms,
+    row_block_size,
+    squared_radius_keys,
+)
 from repro.utils.validation import check_integer, check_points
 
+#: Auto-select the streaming (non-persisted) ``L(r, S)`` walk when the target
+#: exceeds this fraction of ``n`` …
+STREAMING_TARGET_FRACTION = 0.5
 
-def _squared_radii(radii: np.ndarray) -> np.ndarray:
-    """Map radii to squared-space search keys; negative radii match nothing."""
-    return np.where(radii < 0, -1.0, radii * radii)
+#: … and the dataset is at least this large (below it the persisted statistic
+#: is small enough that streaming only adds distance recomputation).
+STREAMING_MIN_POINTS = 8192
+
+
+#: Shared key mapping (negative radii match nothing); one definition for all
+#: paths, see :func:`repro.neighbors._distance.squared_radius_keys`.
+_squared_radii = squared_radius_keys
+
+
+def _score_from_histogram(histogram: np.ndarray, target: int,
+                          descending_values: np.ndarray) -> float:
+    """Top-``target`` mean from one capped-count histogram.
+
+    The single counting-sort walk both evaluation paths share (so the
+    persisted and streaming profiles stay bit-identical by construction):
+    take as many of the largest capped values as the histogram holds, until
+    ``target`` values are taken.
+
+    Parameters
+    ----------
+    histogram:
+        ``(cap + 1,)`` ``int64`` histogram of capped counts.
+    target:
+        The number of top values averaged (the paper's ``t``).
+    descending_values:
+        ``arange(cap, -1, -1)`` — passed in so batch callers allocate it
+        once.
+
+    Returns
+    -------
+    float
+        ``L(r, S)`` at the histogram's radius.
+    """
+    taken = np.minimum(np.cumsum(histogram[::-1]), target)
+    per_value = np.diff(taken, prepend=0)
+    return float(per_value @ descending_values) / target
+
+
+def _scores_from_histograms(histograms: np.ndarray, cap: int,
+                            target: int) -> np.ndarray:
+    """``L(r, S)`` per radius from ``(m, cap + 1)`` capped-count histograms
+    (see :func:`_score_from_histogram`)."""
+    descending_values = np.arange(cap, -1, -1, dtype=np.int64)
+    scores = np.empty(histograms.shape[0], dtype=float)
+    for slot in range(histograms.shape[0]):
+        scores[slot] = _score_from_histogram(histograms[slot], target,
+                                             descending_values)
+    return scores
 
 
 def _capped_profile(sorted_values: np.ndarray, rows: np.ndarray, n: int,
@@ -68,9 +131,8 @@ def _capped_profile(sorted_values: np.ndarray, rows: np.ndarray, n: int,
             counts += np.bincount(rows[consumed:position], minlength=n)
             consumed = position
         histogram = np.bincount(counts, minlength=k + 1)
-        taken = np.minimum(np.cumsum(histogram[::-1]), target)
-        per_value = np.diff(taken, prepend=0)
-        scores[slot] = float(per_value @ descending_values) / target
+        scores[slot] = _score_from_histogram(histogram, target,
+                                             descending_values)
 
     result = np.empty_like(scores)
     result[order] = scores
@@ -80,8 +142,13 @@ def _capped_profile(sorted_values: np.ndarray, rows: np.ndarray, n: int,
 class NeighborBackend(abc.ABC):
     """Distance-query oracle over a fixed ``(n, d)`` dataset."""
 
-    #: Registry name of the strategy ("dense", "chunked", "tree").
+    #: Registry name of the strategy ("dense", "chunked", "tree", "sharded").
     name: ClassVar[str] = "abstract"
+
+    #: Whether the streaming large-target profile may be auto-selected for
+    #: this strategy.  The dense backend opts out: it already holds the full
+    #: matrix, so recomputing distances would only slow it down.
+    streaming_auto: ClassVar[bool] = True
 
     def __init__(self, points) -> None:
         self._points = check_points(points)
@@ -123,8 +190,49 @@ class NeighborBackend(abc.ABC):
     # Derived queries (shared across strategies)
     # ------------------------------------------------------------------ #
     def radius_counts(self, radius: float) -> np.ndarray:
-        """``B_r(x_i, S)`` for every dataset point ``x_i``."""
+        """``B_r(x_i, S)`` for every dataset point ``x_i``.
+
+        Parameters
+        ----------
+        radius:
+            The ball radius ``r``; negative radii give all-zero counts.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n,)`` ``int64`` counts (each at least 1 for ``r >= 0``, since a
+            point always contains itself).
+        """
         return self.query_radius_counts(self._points, radius)
+
+    def count_within_many(self, centers, radii) -> np.ndarray:
+        """``B_r(c, S)`` for every centre ``c`` at every radius in ``radii``.
+
+        The batched form of :meth:`query_radius_counts`: one call answers a
+        whole ``(centers, radii)`` grid, which lets backends fuse the work —
+        the chunked strategy computes each distance slab once for all radii,
+        and the sharded strategy submits a single request per shard instead of
+        one per radius.  This base implementation simply loops over the radii.
+
+        Parameters
+        ----------
+        centers:
+            ``(q, d)`` query centres.
+        radii:
+            ``(m,)`` radii; negative entries give all-zero counts.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(m, q)`` ``int64`` counts; row ``j`` holds the counts at
+            ``radii[j]``.
+        """
+        radii = np.atleast_1d(np.asarray(radii, dtype=float))
+        centers = check_points(centers, dimension=self.dimension,
+                               name="centers")
+        return np.stack([
+            self.query_radius_counts(centers, float(radius)) for radius in radii
+        ]) if radii.size else np.empty((0, centers.shape[0]), dtype=np.int64)
 
     def truncated_squared(self, k: int) -> np.ndarray:
         """Row-sorted ``(n, k)`` matrix of each point's ``k`` smallest
@@ -150,7 +258,23 @@ class NeighborBackend(abc.ABC):
         return np.sqrt(self.truncated_squared(k)[:, k - 1])
 
     def capped_radius_counts(self, radius: float, cap: int) -> np.ndarray:
-        """``min(B_r(x_i, S), cap)`` for every dataset point."""
+        """``Bbar_r(x_i, S) = min(B_r(x_i, S), cap)`` for every dataset point
+        (the capped counts of paper Section 3.1; capping is what drops the
+        score's sensitivity from ``Omega(t)`` to 2, Lemma 4.5).
+
+        Parameters
+        ----------
+        radius:
+            The ball radius; negative radii give all-zero counts.
+        cap:
+            The cap (the paper always uses the target ``t``); ``cap=0`` gives
+            all zeros.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n,)`` ``int64`` capped counts.
+        """
         cap = check_integer(cap, "cap", minimum=0)
         if cap == 0 or radius < 0:
             return np.zeros(self.num_points, dtype=np.int64)
@@ -158,31 +282,104 @@ class NeighborBackend(abc.ABC):
         counts = np.count_nonzero(truncated <= radius * radius, axis=1)
         return np.minimum(counts.astype(np.int64), cap)
 
-    def capped_average_scores(self, radii, target: int) -> np.ndarray:
+    def capped_average_scores(self, radii, target: int,
+                              streaming: Optional[bool] = None) -> np.ndarray:
         """The GoodRadius score ``L(r, S)`` at every radius in ``radii``.
 
         ``L(r, S)`` is the mean of the ``target`` largest capped counts
-        ``min(B_r(x_i, S), target)`` (paper Algorithm 1, step 1).
+        ``min(B_r(x_i, S), target)`` (paper Algorithm 1, step 1; the
+        sensitivity-2 score of Lemma 4.5).
 
-        Memory is ``O(n * min(target, n))`` for the truncated statistic and
-        its sorted-flat cache — a large win over ``O(n^2)`` when
-        ``target << n``, but approaching (and, with the caches, exceeding)
-        the dense matrix when ``target`` is a large fraction of ``n`` (e.g.
-        outlier screening with ``t = 0.9 n`` at ``n >> 10^4``); a streaming
-        large-target path is an open roadmap item.
+        Two exact evaluation strategies are available:
+
+        * **Persisted** (the default for small targets): cache each point's
+          ``min(target, n)`` smallest squared distances and merge-walk the
+          globally sorted statistic against the sorted radii.  ``O(n * t)``
+          memory — a large win when ``target << n``.
+        * **Streaming** (the default for large targets): never persist the
+          statistic; process the radii in chunks and recompute blocked
+          distance passes per chunk, histogramming capped counts on the fly.
+          ``O(n * block + chunk * target)`` memory at *every* target, which is
+          what keeps outlier screening (``t ~ 0.9 n``) off the ``O(n^2)``
+          memory cliff.
+
+        Both paths produce bit-identical scores (they count the same integer
+        quantities in the same squared space).
+
+        Parameters
+        ----------
+        radii:
+            Scalar or ``(m,)`` array of radii; negative radii give score 0.
+        target:
+            The target cluster size ``t`` (also the count cap);
+            ``1 <= target <= n``.
+        streaming:
+            ``None`` (default) picks automatically — streaming when
+            ``target > STREAMING_TARGET_FRACTION * n`` and
+            ``n >= STREAMING_MIN_POINTS`` (and the strategy has not opted
+            out); ``True``/``False`` force a path.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(m,)`` float scores, in the order of the supplied radii.
         """
         radii = np.atleast_1d(np.asarray(radii, dtype=float))
         n = self.num_points
         target = check_integer(target, "target", minimum=1)
         if target > n:
             raise ValueError(f"target must lie in [1, n={n}], got {target}")
+        if streaming is None:
+            streaming = (self.streaming_auto
+                         and n >= STREAMING_MIN_POINTS
+                         and target > STREAMING_TARGET_FRACTION * n)
+        if streaming:
+            return self._streaming_profile(radii, target)
         sorted_values, rows, k = self._sorted_flat(min(target, n))
         return _capped_profile(sorted_values, rows, n, k, radii, target)
 
     def capped_average_score(self, radius: float, target: int) -> float:
-        """``L(radius, S)`` for a single radius."""
+        """``L(radius, S)`` for a single radius (see
+        :meth:`capped_average_scores`)."""
         return float(self.capped_average_scores(
             np.asarray([radius], dtype=float), target)[0])
+
+    # ------------------------------------------------------------------ #
+    # Streaming large-target profile (radii-chunked, nothing persisted)
+    # ------------------------------------------------------------------ #
+    def _streaming_profile(self, radii: np.ndarray, target: int) -> np.ndarray:
+        """Radii-chunked streaming evaluation of ``L(r, S)``.
+
+        The radii are processed in chunks sized so the per-chunk histograms
+        stay within (half of) the default memory budget; each chunk costs one
+        blocked pass over the pairwise distances, delegated to
+        :meth:`_capped_count_histograms` so multi-process strategies can
+        parallelise the pass.
+        """
+        cap = min(target, self.num_points)
+        keys = _squared_radii(radii)
+        chunk = int(max(8, min(
+            max(keys.shape[0], 1),
+            DEFAULT_MEMORY_BUDGET // (16 * (cap + 1)),
+        )))
+        scores = np.empty(keys.shape[0], dtype=float)
+        for start in range(0, keys.shape[0], chunk):
+            histograms = self._capped_count_histograms(
+                keys[start:start + chunk], cap
+            )
+            scores[start:start + chunk] = _scores_from_histograms(
+                histograms, cap, target
+            )
+        return scores
+
+    def _capped_count_histograms(self, keys: np.ndarray,
+                                 cap: int) -> np.ndarray:
+        """``(len(keys), cap + 1)`` histograms of capped counts over all
+        dataset points (one blocked brute-force pass; strategies with worker
+        processes override this to split the pass across query rows)."""
+        block = row_block_size(self.num_points, self.dimension)
+        return capped_count_histograms(self._points, self._points, keys, cap,
+                                       block)
 
     def _sorted_flat(self, k: int):
         """Globally sorted truncated squared distances + row ids, cached."""
@@ -198,4 +395,8 @@ class NeighborBackend(abc.ABC):
         return self._flat_cache[1], self._flat_cache[2], k
 
 
-__all__ = ["NeighborBackend"]
+__all__ = [
+    "NeighborBackend",
+    "STREAMING_MIN_POINTS",
+    "STREAMING_TARGET_FRACTION",
+]

@@ -15,6 +15,7 @@ import numpy as np
 from repro.neighbors._distance import (
     DEFAULT_MEMORY_BUDGET,
     blocked_radius_counts,
+    blocked_radius_counts_many,
     row_block_size,
     truncated_squared_bruteforce,
 )
@@ -41,11 +42,37 @@ class ChunkedBackend(NeighborBackend):
         return self._block
 
     def query_radius_counts(self, centers, radius: float) -> np.ndarray:
+        """``B_r(c, S)`` per centre, one blocked brute-force pass.
+
+        Parameters
+        ----------
+        centers:
+            ``(q, d)`` query centres.
+        radius:
+            The ball radius; negative radii give all-zero counts.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(q,)`` ``int64`` counts.
+        """
         centers = check_points(centers, dimension=self.dimension,
                                name="centers")
         if radius < 0:
             return np.zeros(centers.shape[0], dtype=np.int64)
         return blocked_radius_counts(centers, self._points, radius, self._block)
+
+    def count_within_many(self, centers, radii) -> np.ndarray:
+        """Batched counts with the distance slabs computed once for all radii
+        (``m`` radii cost one blocked pass, not ``m``); see
+        :meth:`NeighborBackend.count_within_many`."""
+        centers = check_points(centers, dimension=self.dimension,
+                               name="centers")
+        radii = np.atleast_1d(np.asarray(radii, dtype=float))
+        if radii.size == 0:
+            return np.empty((0, centers.shape[0]), dtype=np.int64)
+        return blocked_radius_counts_many(centers, self._points, radii,
+                                          self._block)
 
     def _compute_truncated_squared(self, k: int) -> np.ndarray:
         return truncated_squared_bruteforce(self._points, k, self._block)

@@ -1,0 +1,559 @@
+"""Sharded backend: the dataset split across worker processes.
+
+Radius-count queries are embarrassingly parallel in the *data*: for any centre
+``c``, ``B_r(c, S) = sum over shards of B_r(c, S_shard)``, and each point's
+``k`` smallest distances to ``S`` are the ``k`` smallest of the union of its
+per-shard ``k`` smallest.  :class:`ShardedBackend` exploits this by splitting
+the point set into contiguous shards, answering each shard's sub-query with an
+ordinary single-process backend (dense / chunked / tree, chosen per shard by
+``auto_backend`` unless pinned), and merging:
+
+* **counts** — summed across shards (exact, integer addition);
+* **truncated squared distances** — per-shard row-sorted statistics are
+  merged (concatenate, select the global ``k`` smallest, sort), which is
+  exact because every global ``k``-nearest value is a ``k``-nearest value of
+  its own shard;
+* **streaming histograms** — the large-target ``L(r, S)`` walk shards the
+  *query rows* instead, and the per-range capped-count histograms add up.
+
+Worker topology: the parent copies the ``(n, d)`` dataset into one
+``multiprocessing.shared_memory`` block at pool start-up; workers attach in
+their initialiser and build per-shard inner backends lazily (cached per
+process), so a query ships only its small payload (a radius, a handful of
+shifts, a centre block) — never the dataset.  On a single-CPU machine, when
+``num_workers=0``, or when the pool cannot start (sandboxes without
+``/dev/shm``), the same shard/merge code runs serially in-process — results
+are bit-identical either way, the pool is purely a wall-clock lever.
+
+Everything merged here is integer counts or exact squared distances, so the
+sharded backend keeps the library-wide guarantee: identical counts and
+``L(r, S)`` scores for every backend, regardless of shard count or worker
+count.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context, shared_memory
+from typing import ClassVar, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.neighbors._distance import (
+    DEFAULT_MEMORY_BUDGET,
+    capped_count_histograms,
+    row_block_size,
+    truncated_squared_cross,
+)
+from repro.neighbors.base import NeighborBackend
+from repro.utils.validation import check_integer, check_points
+
+
+def _available_cpus() -> int:
+    """The number of CPUs the process may actually use (1 if undeterminable).
+
+    Prefers the scheduler affinity mask over ``os.cpu_count()``: in
+    containers with a CPU quota / pinned affinity the raw core count of the
+    host would oversubscribe the pool (and make ``auto_backend`` pick
+    sharding where it cannot pay off).
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class _ShardSet:
+    """The per-process shard executor: points + lazily built inner backends.
+
+    One instance lives in the parent (serial fallback) and one in every worker
+    process (built over the shared-memory view in the pool initialiser).  All
+    shard-local query logic is here so the serial and multi-process paths run
+    literally the same code.
+    """
+
+    def __init__(self, points: np.ndarray, bounds: Sequence[Tuple[int, int]],
+                 inner_backend: str) -> None:
+        self.points = points
+        self.bounds = list(bounds)
+        self.inner_backend = inner_backend
+        self._backends = {}
+
+    def backend(self, shard: int) -> NeighborBackend:
+        """The inner backend indexing shard ``shard`` (built on first use).
+
+        Caches are per process: `ProcessPoolExecutor` routes tasks to any
+        idle worker, so a long-lived backend may build a given shard's index
+        in several workers.  With the default topology (shards == workers)
+        that is at most ``W`` extra lazily-built indexes pool-wide — accepted
+        for now in exchange for the executor's simple work stealing.
+        """
+        if shard not in self._backends:
+            from repro.neighbors import (
+                BACKENDS,
+                HAVE_SCIPY_TREE,
+                TREE_MAX_DIMENSION,
+                auto_backend,
+            )
+
+            low, high = self.bounds[shard]
+            shard_points = self.points[low:high]
+            name = self.inner_backend
+            if name == "auto":
+                name = auto_backend(high - low, shard_points.shape[1])
+            if name == ShardedBackend.name:
+                # Never recurse into sharding; fall through to the remaining
+                # single-process heuristics for a shard this large.
+                d = shard_points.shape[1]
+                name = ("tree" if d <= TREE_MAX_DIMENSION and HAVE_SCIPY_TREE
+                        else "chunked")
+            self._backends[shard] = BACKENDS[name](shard_points)
+        return self._backends[shard]
+
+    def _centers(self, centers: Optional[np.ndarray]) -> np.ndarray:
+        """``None`` is the wire encoding for "the full dataset" (which workers
+        already hold in shared memory, so it is never pickled)."""
+        return self.points if centers is None else centers
+
+    def counts(self, shard: int, centers: Optional[np.ndarray],
+               radius: float) -> np.ndarray:
+        """This shard's contribution to ``B_r(c, S)`` for every centre."""
+        return self.backend(shard).query_radius_counts(
+            self._centers(centers), radius
+        )
+
+    def counts_many(self, shard: int, centers: Optional[np.ndarray],
+                    radii: np.ndarray) -> np.ndarray:
+        """This shard's contribution to the batched ``(m, q)`` count grid."""
+        return self.backend(shard).count_within_many(
+            self._centers(centers), radii
+        )
+
+    def truncated(self, shard: int, k: int) -> np.ndarray:
+        """Every dataset point's ``min(k, shard size)`` smallest squared
+        distances to this shard's points, row-sorted."""
+        low, high = self.bounds[shard]
+        shard_points = self.points[low:high]
+        block = row_block_size(high - low, self.points.shape[1])
+        return truncated_squared_cross(self.points, shard_points, k, block)
+
+    def histograms(self, shard: int, keys: np.ndarray,
+                   cap: int) -> np.ndarray:
+        """Capped-count histograms over this shard's *query rows*, counted
+        against the full dataset (the streaming ``L(r, S)`` partial)."""
+        low, high = self.bounds[shard]
+        block = row_block_size(self.points.shape[0], self.points.shape[1])
+        return capped_count_histograms(self.points[low:high], self.points,
+                                       keys, cap, block)
+
+    def heaviest_cells(self, shard: int, width: float,
+                       shifts: np.ndarray) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per-attempt partial box histograms of this shard's points.
+
+        For each row of ``shifts`` (one shifted partition attempt) the
+        shard's points are hashed through the same
+        :func:`repro.geometry.boxes.box_labels` grid hash as
+        ``ShiftedBoxPartition`` — the shared definition is what makes the
+        labels bit-identical to a single-process pass — and the unique
+        labels are returned with their counts for the parent to merge.
+        """
+        from repro.geometry.boxes import box_labels
+
+        low, high = self.bounds[shard]
+        shard_points = self.points[low:high]
+        results = []
+        for shift in np.atleast_2d(np.asarray(shifts, dtype=float)):
+            labels = box_labels(shard_points, shift, width)
+            unique, counts = np.unique(labels, axis=0, return_counts=True)
+            results.append((unique, counts))
+        return results
+
+
+# --------------------------------------------------------------------------- #
+# Worker-process plumbing
+# --------------------------------------------------------------------------- #
+
+#: The worker's shard set, installed by :func:`_init_worker`.
+_WORKER_SHARDS: Optional[_ShardSet] = None
+_WORKER_SHM: Optional[shared_memory.SharedMemory] = None
+
+
+def _init_worker(shm_name: str, shape: Tuple[int, int], dtype_str: str,
+                 bounds: Sequence[Tuple[int, int]],
+                 inner_backend: str) -> None:
+    """Pool initialiser: attach the shared dataset, build the shard set."""
+    global _WORKER_SHARDS, _WORKER_SHM
+    # Attach WITHOUT registering with the resource tracker: the parent owns
+    # the segment and unlinks it on close; a child registration would make the
+    # (possibly shared, under fork) tracker believe the segment was already
+    # released, turning the parent's unlink into a KeyError (bpo-39959).
+    # Python 3.13 exposes this as SharedMemory(..., track=False); earlier
+    # interpreters need the register call suppressed around the attach.
+    try:  # pragma: no cover - interpreter-version dependent
+        shm = shared_memory.SharedMemory(name=shm_name, track=False)
+    except TypeError:
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=shm_name)
+        finally:
+            resource_tracker.register = original_register
+    points = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
+    _WORKER_SHM = shm
+    _WORKER_SHARDS = _ShardSet(points, bounds, inner_backend)
+
+
+def _run_shard_task(method: str, shard: int, args: tuple):
+    """Dispatch one shard sub-query inside a worker process."""
+    return getattr(_WORKER_SHARDS, method)(shard, *args)
+
+
+class ShardedBackend(NeighborBackend):
+    """Dataset sharded across processes; per-shard answers merged exactly.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` dataset.
+    num_shards:
+        How many contiguous shards to split the points into.  Defaults to the
+        worker count (or the CPU count when that is automatic too); always
+        clamped to ``n``.
+    num_workers:
+        Worker-process count.  ``None`` (default) uses
+        ``min(num_shards, cpu count)``; ``0`` forces the serial in-process
+        path (identical results, no pool); values ``> 1`` request a process
+        pool, which silently degrades to serial if the pool cannot start.
+    inner_backend:
+        The single-process strategy each shard answers with: a registry name
+        or ``"auto"`` (default; per-shard size-based choice, never recursing
+        into ``"sharded"``).
+    """
+
+    name = "sharded"
+
+    #: Partition-search attempts batched per heaviest-cell request.
+    HEAVIEST_CELL_BATCH: ClassVar[int] = 8
+
+    def __init__(self, points, num_shards: Optional[int] = None,
+                 num_workers: Optional[int] = None,
+                 inner_backend: str = "auto") -> None:
+        super().__init__(points)
+        if num_workers is None:
+            workers = min(_available_cpus(),
+                          num_shards if num_shards else _available_cpus())
+        else:
+            workers = check_integer(num_workers, "num_workers", minimum=0)
+        if num_shards is None:
+            num_shards = max(workers, 1)
+        num_shards = check_integer(num_shards, "num_shards", minimum=1)
+        num_shards = min(num_shards, self.num_points)
+        offsets = np.linspace(0, self.num_points, num_shards + 1).astype(int)
+        self._bounds = [(int(offsets[i]), int(offsets[i + 1]))
+                        for i in range(num_shards)]
+        self._inner_backend = str(inner_backend)
+        self._requested_workers = min(workers, num_shards)
+        self._shards = _ShardSet(self._points, self._bounds,
+                                 self._inner_backend)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._shm: Optional[shared_memory.SharedMemory] = None
+        self._pool_failed = False
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        """How many contiguous shards the dataset is split into."""
+        return len(self._bounds)
+
+    @property
+    def shard_bounds(self) -> List[Tuple[int, int]]:
+        """The ``[low, high)`` row range of every shard."""
+        return list(self._bounds)
+
+    @property
+    def parallel(self) -> bool:
+        """Whether queries run on a process pool (False = serial fallback)."""
+        return self._requested_workers > 1 and not self._pool_failed
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_executor(self) -> Optional[ProcessPoolExecutor]:
+        """Start the pool + shared-memory block lazily; ``None`` = serial."""
+        if self._requested_workers <= 1 or self._pool_failed:
+            return None
+        if self._executor is not None:
+            return self._executor
+        shm = None
+        try:
+            data = np.ascontiguousarray(self._points)
+            shm = shared_memory.SharedMemory(create=True, size=data.nbytes)
+            view = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
+            view[:] = data
+            import multiprocessing
+
+            # Prefer fork: workers inherit the imported library, so no module
+            # re-import cost and no dependence on PYTHONPATH in the children.
+            methods = multiprocessing.get_all_start_methods()
+            context = get_context("fork" if "fork" in methods else None)
+            executor = ProcessPoolExecutor(
+                max_workers=self._requested_workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(shm.name, data.shape, data.dtype.str,
+                          self._bounds, self._inner_backend),
+            )
+        except (OSError, ValueError, ImportError) as error:
+            if shm is not None:  # don't leak the segment on executor failure
+                try:
+                    shm.close()
+                    shm.unlink()
+                except (FileNotFoundError, OSError):  # pragma: no cover
+                    pass
+            self._pool_failed = True
+            warnings.warn(
+                f"ShardedBackend could not start its worker pool ({error}); "
+                "falling back to the serial in-process path (results are "
+                "identical, only slower)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        self._shm = shm
+        self._executor = executor
+        return executor
+
+    def close(self) -> None:
+        """Shut down the pool and release the shared-memory block.
+
+        Safe to call repeatedly; also invoked on garbage collection.  After
+        closing, the next query transparently restarts the pool.
+        """
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            try:
+                shm.close()
+                shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "ShardedBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Fan-out / merge
+    # ------------------------------------------------------------------ #
+    def _map_shards(self, method: str, args: tuple) -> list:
+        """Run ``method(shard, *args)`` for every shard; pool if available."""
+        executor = self._ensure_executor()
+        shards = range(self.num_shards)
+        if executor is None:
+            return [getattr(self._shards, method)(s, *args) for s in shards]
+        try:
+            futures = [executor.submit(_run_shard_task, method, s, args)
+                       for s in shards]
+            return [future.result() for future in futures]
+        except (BrokenProcessPool, OSError) as error:  # pragma: no cover
+            self._pool_failed = True
+            self.close()
+            warnings.warn(
+                f"ShardedBackend worker pool died ({error}); retrying on the "
+                "serial in-process path",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return [getattr(self._shards, method)(s, *args) for s in shards]
+
+    def _iter_shards(self, method: str, args: tuple, wave: int = None):
+        """Like :meth:`_map_shards`, but yield results one shard at a time.
+
+        Submission is bounded to waves of ``wave`` outstanding tasks
+        (default: the worker count), so per-shard results whose merge is a
+        fold (the truncated statistic) never all sit in parent memory at
+        once — callers pick the wave from the per-result size, trading pool
+        utilisation for a hard buffer bound.
+        """
+        executor = self._ensure_executor()
+        if executor is None:
+            for shard in range(self.num_shards):
+                yield getattr(self._shards, method)(shard, *args)
+            return
+        if wave is None:
+            wave = self._requested_workers
+        wave = max(1, min(wave, self.num_shards))
+        delivered = 0
+        try:
+            for start in range(0, self.num_shards, wave):
+                futures = [
+                    executor.submit(_run_shard_task, method, shard, args)
+                    for shard in range(start, min(start + wave,
+                                                  self.num_shards))
+                ]
+                for future in futures:
+                    result = future.result()
+                    delivered += 1
+                    yield result
+        except (BrokenProcessPool, OSError) as error:  # pragma: no cover
+            self._pool_failed = True
+            self.close()
+            warnings.warn(
+                f"ShardedBackend worker pool died ({error}); finishing the "
+                "query on the serial in-process path",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            # Results are yielded in shard order, so resume after the last
+            # delivered shard (re-yielding one would corrupt fold merges).
+            for shard in range(delivered, self.num_shards):
+                yield getattr(self._shards, method)(shard, *args)
+
+    # ------------------------------------------------------------------ #
+    # NeighborBackend protocol
+    # ------------------------------------------------------------------ #
+    def query_radius_counts(self, centers, radius: float) -> np.ndarray:
+        """``B_r(c, S)`` per centre: the sum of per-shard counts.
+
+        Parameters
+        ----------
+        centers:
+            ``(q, d)`` query centres.
+        radius:
+            The ball radius; negative radii give all-zero counts.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(q,)`` ``int64`` counts.
+        """
+        centers = check_points(centers, dimension=self.dimension,
+                               name="centers")
+        if radius < 0:
+            return np.zeros(centers.shape[0], dtype=np.int64)
+        payload = None if centers is self._points else centers
+        parts = self._map_shards("counts", (payload, float(radius)))
+        return np.sum(parts, axis=0, dtype=np.int64)
+
+    def count_within_many(self, centers, radii) -> np.ndarray:
+        """The batched count grid, one fused request per shard.
+
+        See :meth:`NeighborBackend.count_within_many`; here all ``m`` radii
+        travel to each shard in a single message and each shard computes its
+        distance slabs once, so the fan-out cost is paid once per shard rather
+        than once per ``(shard, radius)`` pair.
+        """
+        centers = check_points(centers, dimension=self.dimension,
+                               name="centers")
+        radii = np.atleast_1d(np.asarray(radii, dtype=float))
+        if radii.size == 0:
+            return np.empty((0, centers.shape[0]), dtype=np.int64)
+        payload = None if centers is self._points else centers
+        parts = self._map_shards("counts_many", (payload, radii))
+        return np.sum(parts, axis=0, dtype=np.int64)
+
+    def _compute_truncated_squared(self, k: int) -> np.ndarray:
+        """Merge-walk of the per-shard truncated statistics.
+
+        Each shard returns every point's ``min(k, shard size)`` smallest
+        squared distances to the shard; the union of those per-shard values is
+        a superset of the global ``k`` smallest, so keeping the ``k`` smallest
+        while folding the shards in one at a time is exact.  The incremental
+        fold bounds the scratch at ``(n, 2k)`` — concatenating all shards
+        first would transiently cost up to ``(n, shards * k)``, which at the
+        sizes where sharding is auto-selected is the dense matrix again —
+        and the submission wave is sized so the undrained ``(n, k)`` results
+        buffered in completed futures stay within a few memory budgets,
+        trading pool utilisation for a hard bound when ``n * k`` is large.
+        """
+        k = min(k, self.num_points)
+        result_bytes = max(1, 8 * self.num_points * k)
+        wave = int(max(1, (4 * DEFAULT_MEMORY_BUDGET) // result_bytes))
+        merged = None
+        for part in self._iter_shards("truncated", (k,), wave=wave):
+            if merged is None:
+                merged = part
+                continue
+            combined = np.concatenate([merged, part], axis=1)
+            if combined.shape[1] > k:
+                combined = np.partition(combined, k - 1, axis=1)[:, :k]
+            merged = combined
+        merged = np.ascontiguousarray(merged[:, :k])
+        merged.sort(axis=1)
+        return merged
+
+    def _capped_count_histograms(self, keys: np.ndarray,
+                                 cap: int) -> np.ndarray:
+        """Streaming partials: each shard histograms its own query rows
+        against the full (shared-memory) dataset; histograms add up.  Summed
+        incrementally as shards complete, so the parent holds one
+        ``(chunk, cap + 1)`` accumulator instead of all shards' partials —
+        preserving the bounded-memory point of the streaming walk.
+        """
+        total = np.zeros((np.asarray(keys).shape[0], cap + 1), dtype=np.int64)
+        for part in self._iter_shards("histograms",
+                                      (np.asarray(keys, float), cap)):
+            total += part
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Grid hashing (GoodCenter's partition search)
+    # ------------------------------------------------------------------ #
+    def heaviest_cell_counts(self, width: float, shifts) -> np.ndarray:
+        """Heaviest-box occupancy for a batch of shifted partitions.
+
+        For each row of ``shifts`` — the per-axis offsets of one randomly
+        shifted partition of side ``width`` (GoodCenter Algorithm 2, steps
+        3–5) — returns ``max_B |{x in S : x in box B}|``.  Grid hashing is a
+        radius-count in disguise: each shard buckets its own points
+        (bit-identically to a single-process pass) and the parent sums the
+        per-label counts across shards before taking the max.
+
+        Parameters
+        ----------
+        width:
+            The box side length.
+        shifts:
+            ``(a, d)`` per-attempt shift vectors (a single ``(d,)`` vector is
+            promoted to one attempt).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(a,)`` ``int64`` heaviest-cell counts, one per attempt.
+        """
+        shifts = np.atleast_2d(np.asarray(shifts, dtype=float))
+        if shifts.shape[1] != self.dimension:
+            raise ValueError(
+                f"shifts have dimension {shifts.shape[1]}, expected "
+                f"{self.dimension}"
+            )
+        parts = self._map_shards("heaviest_cells", (float(width), shifts))
+        maxima = np.empty(shifts.shape[0], dtype=np.int64)
+        for attempt in range(shifts.shape[0]):
+            labels = np.concatenate([part[attempt][0] for part in parts])
+            counts = np.concatenate([part[attempt][1] for part in parts])
+            _, inverse = np.unique(labels, axis=0, return_inverse=True)
+            merged = np.bincount(np.reshape(inverse, -1), weights=counts)
+            maxima[attempt] = int(merged.max())
+        return maxima
+
+
+__all__ = ["ShardedBackend"]

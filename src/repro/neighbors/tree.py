@@ -58,6 +58,20 @@ class TreeBackend(NeighborBackend):
         return self._scipy
 
     def query_radius_counts(self, centers, radius: float) -> np.ndarray:
+        """``B_r(c, S)`` per centre via a batched tree query.
+
+        Parameters
+        ----------
+        centers:
+            ``(q, d)`` query centres.
+        radius:
+            The ball radius; negative radii give all-zero counts.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(q,)`` ``int64`` counts.
+        """
         centers = check_points(centers, dimension=self.dimension,
                                name="centers")
         if radius < 0:
