@@ -159,6 +159,91 @@ def bench_large_target(n: int, rng_seed: int, workers=None) -> list:
     return rows
 
 
+def bench_good_center_jl(n: int, rng_seed: int, workers=None,
+                         attempts: int = 64) -> list:
+    """The JL-path partition search: inline parent hashing vs view-batched.
+
+    GoodCenter's non-identity path repeatedly hashes the JL-projected points
+    into randomly shifted box partitions (Algorithm 2, steps 3-6).  The
+    *inline* flavour is the no-backend reference: the parent materialises the
+    ``(n, k)`` projected image once and hashes it once per attempt.  The
+    *view-batched* flavour runs the same attempts through a sharded
+    backend's :class:`~repro.neighbors.base.ProjectedView` in batches: the
+    projection matrix ships to the workers once, shards hash their own slice
+    in parallel, and the parent only merges per-label counts — it never
+    holds the image, which is what the parent-side peak-memory column
+    records (tracemalloc sees the parent process only; that asymmetry is the
+    point).  Both flavours are timed steady-state (image / pool warm-up
+    excluded) and the per-attempt counts are asserted identical — the bench
+    doubles as a parity check.
+    """
+    from repro.core.config import GoodCenterConfig
+    from repro.geometry.boxes import box_labels
+    from repro.geometry.jl import JohnsonLindenstrauss, project_rows
+
+    dimension = 32
+    beta = 0.1
+    config = GoodCenterConfig(jl_constant=1.0)
+    k = config.projection_dimension(n, beta, ambient_dimension=dimension)
+    assert k < dimension, "jl_constant must force the non-identity path"
+    data = planted_cluster(n=n, d=dimension, cluster_size=max(200, n // 20),
+                           cluster_radius=0.05, rng=rng_seed)
+    points = data.points
+    radius = 0.05
+    width = config.box_width(radius, k, identity_projection=False)
+    matrix = JohnsonLindenstrauss(input_dimension=dimension,
+                                  output_dimension=k, rng=0).matrix
+    shifts = np.random.default_rng(1).uniform(0.0, width, size=(attempts, k))
+    rows = []
+
+    # Inline (no-backend) reference: project once, hash per attempt.
+    tracemalloc.start()
+    projected = project_rows(points, matrix)          # warm: kept across attempts
+    start = time.perf_counter()
+    inline_counts = np.array([
+        np.unique(box_labels(projected, shift, width), axis=0,
+                  return_counts=True)[1].max()
+        for shift in shifts
+    ])
+    inline_seconds = time.perf_counter() - start
+    _, inline_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del projected
+    rows.append({
+        "n": n, "k": k, "mode": "inline", "attempts": attempts,
+        "attempts_per_s": attempts / inline_seconds,
+        "parent_peak_mb": inline_peak / 1e6,
+        "speedup": 1.0,
+    })
+
+    backend = make_backend("sharded", points, workers)
+    try:
+        view = backend.view(matrix)
+        batch = view.batch_size
+        view.heaviest_cell_counts(width, shifts[:1])  # warm: pool + images
+        tracemalloc.start()
+        start = time.perf_counter()
+        batched_counts = np.concatenate([
+            view.heaviest_cell_counts(width, shifts[i:i + batch])
+            for i in range(0, attempts, batch)
+        ])
+        batched_seconds = time.perf_counter() - start
+        _, batched_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    finally:
+        backend.close()
+    assert np.array_equal(batched_counts, inline_counts), (
+        f"view-batched search disagrees with inline hashing at n={n}"
+    )
+    rows.append({
+        "n": n, "k": k, "mode": "view-batched", "attempts": attempts,
+        "attempts_per_s": attempts / batched_seconds,
+        "parent_peak_mb": batched_peak / 1e6,
+        "speedup": inline_seconds / batched_seconds,
+    })
+    return rows
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--sizes", type=int, nargs="+",
@@ -180,8 +265,34 @@ def main() -> None:
                         help="profile t = 0.9 n (outlier screening): "
                              "persisted vs streaming L(r, S), with peak "
                              "memory")
+    parser.add_argument("--good-center-jl", action="store_true",
+                        help="profile GoodCenter's JL-path partition search: "
+                             "inline parent hashing vs the view-batched "
+                             "sharded path (d=32, parity asserted)")
+    parser.add_argument("--attempts", type=int, default=64,
+                        help="partition-search attempts timed per mode in "
+                             "--good-center-jl")
     parser.add_argument("--rng", type=int, default=0)
     args = parser.parse_args()
+
+    if args.good_center_jl:
+        all_rows = []
+        for n in args.sizes:
+            print(f"profiling JL partition search at n={n}, d=32 ...",
+                  flush=True)
+            all_rows.extend(bench_good_center_jl(n, args.rng, args.workers,
+                                                 args.attempts))
+        print()
+        print(format_table(all_rows, columns=[
+            "n", "k", "mode", "attempts", "attempts_per_s",
+            "parent_peak_mb", "speedup",
+        ]))
+        print("\n(counts asserted identical between modes; parent_peak_mb is "
+              "parent-process tracemalloc — in pool mode the view-batched "
+              "row never holds the (n, k) projected image, the inline row "
+              "must; with --workers 0 the serial fallback caches shard "
+              "images in-parent like a worker would)")
+        return
 
     if args.large_target:
         all_rows = []

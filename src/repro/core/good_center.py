@@ -46,15 +46,32 @@ from repro.accounting.ledger import PrivacyLedger
 from repro.accounting.params import PrivacyParams
 from repro.core.config import GoodCenterConfig
 from repro.core.types import GoodCenterResult
-from repro.geometry.boxes import AxisIntervalPartition, ShiftedBoxPartition
+from repro.geometry.boxes import (
+    AxisIntervalPartition,
+    ShiftedBoxPartition,
+    interval_labels,
+)
 from repro.geometry.jl import JohnsonLindenstrauss
 from repro.geometry.rotation import project_onto_basis, random_orthonormal_basis
 from repro.mechanisms.above_threshold import AboveThreshold
-from repro.mechanisms.histogram import stable_histogram_choice
+from repro.mechanisms.histogram import stable_histogram_choice_from_counts
 from repro.mechanisms.noisy_average import noisy_average
-from repro.neighbors import BackendLike, resolve_backend
+from repro.neighbors import (
+    BackendLike,
+    first_occurrence_cells,
+    resolve_backend,
+)
 from repro.utils.rng import RngLike, spawn_generators
 from repro.utils.validation import check_integer, check_points, check_positive, check_probability
+
+
+#: Whether the in-parent partition search hands its winning attempt's label
+#: array to step 7 (it always computes one per attempt anyway).  The rehash
+#: this avoids is pure recomputation, so flipping the flag must not move a
+#: single byte of any release — tests/test_release_parity.py monkeypatches it
+#: off and asserts exactly that, guarding the reuse against ever feeding
+#: step 7 labels that belong to a different partition of the batch.
+_REUSE_SEARCH_LABELS = True
 
 
 def _failure(attempts: int, k: int) -> GoodCenterResult:
@@ -92,12 +109,17 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
     ledger:
         Optional privacy ledger.
     backend:
-        Optional neighbor-backend selection.  Grid hashing is a radius-count
-        in disguise: when the resolved backend exposes batched heaviest-cell
-        counting (the sharded backend) and the projection is the identity,
-        the partition-search loop precomputes its AboveThreshold queries in
-        batches across the worker shards.  Pure performance — the sequence of
-        queries, and hence the release distribution, is unchanged.
+        Optional neighbor-backend selection.  When given, the projected-space
+        grid hashing rides a :class:`~repro.neighbors.base.ProjectedView` of
+        the resolved backend — the partition search (on *both* the identity
+        and JL projection paths) and the step-7 box histogram, whose
+        per-point positions double as the membership mask.  The sharded
+        backend applies the projection shard-side over its shared-memory
+        block, so the parent never holds the projected image while searching.
+        Pure performance — the projection is row-decomposable, the grid
+        hashes are shared definitions, and the histogram cells are presented
+        in first-occurrence order, so the query sequence and every noise
+        draw, and hence the release distribution, are unchanged.
 
     Returns
     -------
@@ -137,12 +159,26 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
     # ------------------------------------------------------------------ #
     k = config.projection_dimension(n, beta, ambient_dimension=dimension)
     identity_projection = k >= dimension
+    projection: Optional[JohnsonLindenstrauss] = None
     if identity_projection:
         k = dimension
-        projected = points
     else:
         projection = JohnsonLindenstrauss(input_dimension=dimension,
                                           output_dimension=k, rng=jl_rng)
+
+    # With a backend, the projected points live behind a ProjectedView —
+    # applied shard-side for the sharded strategy, so the parent never
+    # materialises the (n, k) image.  Without one, the parent projects once
+    # (through the same row-decomposable definition, so both paths hash
+    # bit-identical coordinates).
+    resolved = resolve_backend(points, backend) if backend is not None else None
+    view = None
+    projected = None
+    if resolved is not None:
+        view = resolved.view(None if projection is None else projection.matrix)
+    elif projection is None:
+        projected = points
+    else:
         projected = projection.project(points)
 
     # ------------------------------------------------------------------ #
@@ -159,45 +195,68 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
                       note="GoodCenter partition search")
     width = config.box_width(radius, k, identity_projection)
 
-    # Optional backend acceleration of the heaviest-cell query.  Only the
-    # identity projection is eligible: the backend indexes the *input* points,
-    # and re-projecting per shard could differ from the parent's projection in
-    # the last ulp, which the exact-parity contract forbids.
-    cell_counter = None
+    # Backend-batched partition search (identity *and* JL paths): the view
+    # answers batches of heaviest-cell queries, amortising the sharded
+    # backend's per-shard fan-out.  In-parent search uses batch size 1 (there
+    # is no fan-out to amortise, and attempts past the accepted one would be
+    # wasted hashes) and keeps each attempt's label array so the winning
+    # partition need not be rehashed in step 7.
     batch_size = 1
-    if backend is not None and identity_projection:
-        resolved = resolve_backend(points, backend)
-        cell_counter = getattr(resolved, "heaviest_cell_counts", None)
-        if cell_counter is not None:
-            batch_size = int(getattr(resolved, "HEAVIEST_CELL_BATCH", 8))
+    if view is not None:
+        batch_size = (config.partition_batch_size
+                      if config.partition_batch_size is not None
+                      else view.batch_size)
+        batch_size = max(1, int(batch_size))
 
     chosen_partition: Optional[ShiftedBoxPartition] = None
+    chosen_labels: Optional[np.ndarray] = None
     attempts = 0
     while attempts < max_attempts and chosen_partition is None:
         batch = [
             ShiftedBoxPartition(dimension=k, width=width, rng=shift_rng)
             for _ in range(min(batch_size, max_attempts - attempts))
         ]
-        if cell_counter is not None:
-            counts = cell_counter(width, np.stack([p.shifts for p in batch]))
+        if view is not None:
+            counts = view.heaviest_cell_counts(
+                width, np.stack([p.shifts for p in batch])
+            )
+            labels_batch = [None] * len(batch)
         else:
-            counts = [p.heaviest_cell_count(projected) for p in batch]
-        for partition, count in zip(batch, counts):
+            labels_batch = [p.label_array(projected) for p in batch]
+            counts = [
+                int(np.unique(la, axis=0, return_counts=True)[1].max())
+                for la in labels_batch
+            ]
+        for partition, partition_labels, count in zip(batch, labels_batch,
+                                                      counts):
             attempts += 1
             answer = above.query(int(count))
             if answer.above:
                 chosen_partition = partition
+                chosen_labels = partition_labels
                 break
     if chosen_partition is None:
         return _failure(attempts, k)
 
     # ------------------------------------------------------------------ #
-    # Step 7: pick the heavy box with the choosing mechanism.
+    # Step 7: pick the heavy box with the choosing mechanism.  The occupied
+    # cells reach the mechanism in first-occurrence (dataset-row) order on
+    # every path, so the per-cell noise draws are bit-identical whether the
+    # histogram was counted in-parent or merged across shards.
     # ------------------------------------------------------------------ #
-    label_indices = chosen_partition.label_array(projected)
-    labels = [tuple(row) for row in label_indices]
-    box_choice = stable_histogram_choice(
-        labels, PrivacyParams(box_epsilon, quarter_delta), rng=box_rng
+    cell_positions = None
+    if view is not None:
+        cell_keys, cell_counts, cell_positions = view.cell_histogram(
+            width, chosen_partition.shifts, return_inverse=True
+        )
+    else:
+        if chosen_labels is None or not _REUSE_SEARCH_LABELS:
+            chosen_labels = chosen_partition.label_array(projected)
+        cell_keys, cell_counts = first_occurrence_cells(chosen_labels)
+    cells = [(tuple(int(index) for index in key), int(count))
+             for key, count in zip(cell_keys, cell_counts)]
+    box_choice = stable_histogram_choice_from_counts(
+        cells, PrivacyParams(box_epsilon, quarter_delta), rng=box_rng
     )
     if ledger is not None:
         ledger.record("stable_histogram", PrivacyParams(box_epsilon, quarter_delta),
@@ -205,7 +264,16 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
     if not box_choice.found:
         return _failure(attempts, k)
     chosen_index = np.asarray(box_choice.key, dtype=np.int64)
-    in_box = np.all(label_indices == chosen_index[None, :], axis=1)
+    if cell_positions is not None:
+        # The histogram's per-point positions already encode membership, so
+        # the view path needs no second hash pass (or sharded fan-out).
+        chosen_position = next(
+            slot for slot, (key, _) in enumerate(cells)
+            if key == box_choice.key
+        )
+        in_box = cell_positions == chosen_position
+    else:
+        in_box = np.all(chosen_labels == chosen_index[None, :], axis=1)
     selected = points[in_box]
     if selected.shape[0] == 0:
         return _failure(attempts, k)
@@ -222,7 +290,13 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
         rotate_back = None
     else:
         # ---------------------------------------------------------------- #
-        # Steps 8-9: random rotation, per-axis heavy intervals.
+        # Steps 8-9: random rotation, per-axis heavy intervals.  All ``d``
+        # axis-label columns come from one vectorised pass over the rotated
+        # coordinates, which steps 10-11 (the captured count and NoisyAVG)
+        # need in the parent regardless — so there is nothing to gain from a
+        # backend round-trip here until those steps also move shard-side
+        # (the ProjectedView.axis_interval_labels building block exists for
+        # exactly that; see ROADMAP).
         # ---------------------------------------------------------------- #
         basis = random_orthonormal_basis(dimension, rng=basis_rng)
         rotated = project_onto_basis(selected, basis)
@@ -236,13 +310,19 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
         axis_params = PrivacyParams(axis_epsilon, axis_delta)
         axis_rngs = spawn_generators(axis_rng, dimension)
 
+        axis_label_matrix = interval_labels(rotated, interval_length)
+
         lower_bounds = np.empty(dimension)
         upper_bounds = np.empty(dimension)
         for axis in range(dimension):
             partition = AxisIntervalPartition(width=interval_length)
-            axis_labels = partition.labels(rotated[:, axis]).tolist()
-            choice = stable_histogram_choice(axis_labels, axis_params,
-                                             rng=axis_rngs[axis])
+            axis_keys, axis_counts = first_occurrence_cells(
+                axis_label_matrix[:, axis]
+            )
+            choice = stable_histogram_choice_from_counts(
+                list(zip(axis_keys.tolist(), axis_counts.tolist())),
+                axis_params, rng=axis_rngs[axis],
+            )
             if not choice.found:
                 return _failure(attempts, k)
             low, high = partition.extended_interval(int(choice.key))

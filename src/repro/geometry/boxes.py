@@ -52,6 +52,35 @@ def box_labels(points: np.ndarray, shifts: np.ndarray,
     return np.floor((points - shifts[None, :]) / width).astype(np.int64)
 
 
+def interval_labels(values: np.ndarray, width: float,
+                    offset: float = 0.0) -> np.ndarray:
+    """Integer interval indices ``floor((v - offset) / width)``, elementwise.
+
+    The one-dimensional sibling of :func:`box_labels` and, like it, the
+    *single* definition of the hash: :class:`AxisIntervalPartition` and the
+    backend view layer's batched per-axis labelling both call this helper, so
+    the rotated-axis interval stage of GoodCenter produces bit-identical
+    labels whether the axes are labelled serially in the parent or in one
+    batched (possibly shard-side) pass.
+
+    Parameters
+    ----------
+    values:
+        Scalar values of any shape; labelled elementwise.
+    width:
+        The interval length.
+    offset:
+        The partition's origin (0 in the paper).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` interval indices, same shape as ``values``.
+    """
+    values = np.asarray(values, dtype=float)
+    return np.floor((values - offset) / width).astype(np.int64)
+
+
 @dataclass(frozen=True)
 class Box:
     """An axis-aligned box given by per-axis lower and upper bounds."""
@@ -178,9 +207,10 @@ class AxisIntervalPartition:
         self.offset = float(offset)
 
     def labels(self, values: np.ndarray) -> np.ndarray:
-        """Integer interval index of every scalar value."""
+        """Integer interval index of every scalar value (the shared
+        :func:`interval_labels` hash over the flattened input)."""
         values = np.asarray(values, dtype=float).reshape(-1)
-        return np.floor((values - self.offset) / self.width).astype(np.int64)
+        return interval_labels(values, self.width, self.offset)
 
     def interval(self, label: int) -> Tuple[float, float]:
         """The ``[low, high)`` endpoints of the interval with the given index."""
@@ -199,4 +229,5 @@ class AxisIntervalPartition:
         return low - margin, high + margin
 
 
-__all__ = ["Box", "ShiftedBoxPartition", "AxisIntervalPartition", "box_labels"]
+__all__ = ["Box", "ShiftedBoxPartition", "AxisIntervalPartition", "box_labels",
+           "interval_labels"]

@@ -21,6 +21,74 @@ from repro.utils.rng import RngLike, as_generator
 from repro.utils.validation import check_points
 
 
+def project_rows(points: np.ndarray, matrix: np.ndarray,
+                 offset: np.ndarray = None) -> np.ndarray:
+    """The linear image ``Y = X A^T (+ b)``, computed row-decomposably.
+
+    This is the single definition of "apply a projection matrix to points"
+    used by the JL map, the random-rotation step, and the neighbor-backend
+    :class:`~repro.neighbors.base.ProjectedView` layer.  It deliberately
+    avoids BLAS matrix multiplication: ``np.einsum`` (non-optimised) computes
+    every output element with the same fixed-order scalar summation over the
+    ``d`` axis, independently of how many rows are in the batch, so
+
+    ``project_rows(X, A)[rows] == project_rows(X[rows], A)``  *bitwise*,
+
+    for any row subset.  BLAS GEMM does not guarantee this (its reduction
+    order can depend on the operand shapes), and the library's exact-parity
+    contract — backend choice never changes a released value — requires a
+    sharded backend projecting only its own rows to reproduce the parent's
+    projection to the last ulp.  Determinism is bought with real (bounded)
+    speed: single-threaded einsum runs a small-constant-factor slower than
+    BLAS (~2x at ``n = 100k, d = k = 64`` on one core, more on many-core
+    machines), and while the JL map has only ``k = O(log n)`` output
+    columns, the rotation matrix is a full ``(d, d)``.  The projections are
+    a vanishing share of the pipelines that use them (one pass per release,
+    vs. hundreds of grid hashes), so parity wins the trade.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` rows to project.
+    matrix:
+        ``(k, d)`` projection matrix.
+    offset:
+        Optional ``(k,)`` translation added to every projected row.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, k)`` projected rows.
+    """
+    points = np.asarray(points, dtype=float)
+    matrix = np.asarray(matrix, dtype=float)
+    image = np.einsum("nd,kd->nk", points, matrix)
+    if offset is not None:
+        image = image + np.asarray(offset, dtype=float)[None, :]
+    return image
+
+
+def apply_linear_image(points: np.ndarray, matrix: np.ndarray = None,
+                       offset: np.ndarray = None) -> np.ndarray:
+    """``Y = X A^T (+ b)`` with identity conventions, row-decomposably.
+
+    The single definition of "a view's linear image" shared by
+    :meth:`repro.neighbors.base.ProjectedView.image` and the sharded
+    backend's worker-side projection — one code path, so the two can never
+    drift apart and break the bitwise parity contract.  ``matrix=None`` means
+    the identity (the input is returned as-is when ``offset`` is also
+    ``None``); a bare ``offset`` translates; otherwise defers to
+    :func:`project_rows` (which is what makes any row subset's image bitwise
+    equal to slicing the full image).
+    """
+    if matrix is None and offset is None:
+        return points
+    if matrix is None:
+        return (np.asarray(points, dtype=float)
+                + np.asarray(offset, dtype=float)[None, :])
+    return project_rows(points, matrix, offset)
+
+
 def jl_target_dimension(num_points: int, beta: float = 0.1,
                         constant: float = 46.0) -> int:
     """The projection dimension ``k`` used by GoodCenter.
@@ -73,9 +141,14 @@ class JohnsonLindenstrauss:
         return self._matrix
 
     def project(self, points) -> np.ndarray:
-        """Project ``(n, d)`` points to ``(n, k)``."""
+        """Project ``(n, d)`` points to ``(n, k)``.
+
+        Delegates to :func:`project_rows`, so projecting any subset of the
+        rows gives bitwise the same values as projecting all rows and
+        slicing — the property the backend view layer relies on.
+        """
         points = check_points(points, dimension=self.input_dimension)
-        return points @ self._matrix.T
+        return project_rows(points, self._matrix)
 
     def __call__(self, points) -> np.ndarray:
         return self.project(points)
@@ -104,6 +177,8 @@ def jl_distortion_failure_probability(num_points: int, output_dimension: int,
 
 __all__ = [
     "JohnsonLindenstrauss",
+    "apply_linear_image",
     "jl_target_dimension",
     "jl_distortion_failure_probability",
+    "project_rows",
 ]

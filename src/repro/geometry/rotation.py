@@ -39,8 +39,14 @@ def project_onto_basis(points: np.ndarray, basis: np.ndarray) -> np.ndarray:
     """Coordinates of ``points`` in the given orthonormal basis.
 
     ``basis`` has the basis vectors as rows; the result is ``points @ basis.T``
-    so column ``i`` of the output is the projection onto ``z_i``.
+    so column ``i`` of the output is the projection onto ``z_i``.  Computed
+    through :func:`repro.geometry.jl.project_rows`, so the rotated
+    coordinates of any row subset are bitwise identical to slicing the full
+    rotation — which is what lets the sharded neighbor backend label rotated
+    axes shard-side without changing a release.
     """
+    from repro.geometry.jl import project_rows
+
     points = check_points(points)
     basis = np.asarray(basis, dtype=float)
     if basis.shape[1] != points.shape[1]:
@@ -48,7 +54,7 @@ def project_onto_basis(points: np.ndarray, basis: np.ndarray) -> np.ndarray:
             f"basis dimension {basis.shape[1]} does not match points "
             f"dimension {points.shape[1]}"
         )
-    return points @ basis.T
+    return project_rows(points, basis)
 
 
 def rotated_projection_spread_bound(diameter: float, dimension: int,

@@ -19,7 +19,9 @@ from repro.mechanisms.exponential import exponential_mechanism, report_noisy_max
 from repro.mechanisms.above_threshold import AboveThreshold, AboveThresholdResult
 from repro.mechanisms.histogram import (
     stable_histogram_choice,
+    stable_histogram_choice_from_counts,
     noisy_histogram,
+    noisy_histogram_from_counts,
     HistogramChoice,
 )
 from repro.mechanisms.noisy_average import noisy_average, NoisyAverageResult
@@ -35,7 +37,9 @@ __all__ = [
     "AboveThreshold",
     "AboveThresholdResult",
     "stable_histogram_choice",
+    "stable_histogram_choice_from_counts",
     "noisy_histogram",
+    "noisy_histogram_from_counts",
     "HistogramChoice",
     "noisy_average",
     "NoisyAverageResult",

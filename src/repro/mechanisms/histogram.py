@@ -64,6 +64,38 @@ def release_threshold(params: PrivacyParams, beta: float = 0.05,
     return 1.0 + (2.0 / params.epsilon) * math.log(2.0 / params.delta)
 
 
+def noisy_histogram_from_counts(cells: Sequence, params: PrivacyParams,
+                                rng: RngLike = None) -> Dict[Hashable, float]:
+    """Stability-based noisy histogram from precomputed ``(key, count)`` cells.
+
+    The counts-level entry point behind :func:`noisy_histogram`, for callers
+    that already hold the occupied-cell histogram (e.g. a neighbor-backend
+    :class:`~repro.neighbors.base.ProjectedView` whose shards counted the
+    cells).  One ``Lap(2/epsilon)`` variate is drawn per cell **in the order
+    the cells are given**; passing the cells in first-occurrence order of the
+    underlying label sequence therefore reproduces the label-level path's
+    noise draws bit for bit (a ``Counter`` iterates in exactly that order).
+
+    Parameters
+    ----------
+    cells:
+        Iterable of ``(key, count)`` pairs, one per occupied cell, keys
+        unique.
+    params:
+        Privacy budget; requires ``delta > 0``.
+    rng:
+        Seed or generator.
+    """
+    generator = as_generator(rng)
+    threshold = release_threshold(params)
+    released: Dict[Hashable, float] = {}
+    for key, count in cells:
+        noisy = count + generator.laplace(0.0, 2.0 / params.epsilon)
+        if noisy >= threshold:
+            released[key] = noisy
+    return released
+
+
 def noisy_histogram(labels: Sequence[Hashable], params: PrivacyParams,
                     rng: RngLike = None) -> Dict[Hashable, float]:
     """Release a stability-based noisy histogram over the occupied cells.
@@ -74,15 +106,42 @@ def noisy_histogram(labels: Sequence[Hashable], params: PrivacyParams,
     private for any partition, including partitions with infinitely many
     cells.
     """
-    generator = as_generator(rng)
     counts = _count_cells(labels)
-    threshold = release_threshold(params)
-    released: Dict[Hashable, float] = {}
-    for key, count in counts.items():
-        noisy = count + generator.laplace(0.0, 2.0 / params.epsilon)
-        if noisy >= threshold:
-            released[key] = noisy
-    return released
+    return noisy_histogram_from_counts(counts.items(), params, rng=rng)
+
+
+def stable_histogram_choice_from_counts(cells: Sequence,
+                                        params: PrivacyParams,
+                                        rng: RngLike = None) -> HistogramChoice:
+    """The choosing mechanism over precomputed ``(key, count)`` cells.
+
+    Identical to :func:`stable_histogram_choice` given the cells in
+    first-occurrence order of the label sequence — same noise draws, same
+    released key, bit for bit (see :func:`noisy_histogram_from_counts`).
+    This is how GoodCenter's backend-batched box and axis-interval choices
+    stay on the exact release distribution of the serial path.
+
+    Parameters
+    ----------
+    cells:
+        Iterable of ``(key, count)`` pairs, one per occupied cell, keys
+        unique; the noise-draw order.
+    params:
+        Privacy budget; requires ``delta > 0``.
+    rng:
+        Seed or generator.
+    """
+    cells = list(cells)
+    released = noisy_histogram_from_counts(cells, params, rng=rng)
+    if not released:
+        return HistogramChoice(key=None, noisy_count=0.0, true_count=0)
+    best_key = max(released, key=lambda key: released[key])
+    counts = dict(cells)
+    return HistogramChoice(
+        key=best_key,
+        noisy_count=float(released[best_key]),
+        true_count=int(counts[best_key]),
+    )
 
 
 def stable_histogram_choice(labels: Sequence[Hashable], params: PrivacyParams,
@@ -106,15 +165,8 @@ def stable_histogram_choice(labels: Sequence[Hashable], params: PrivacyParams,
         Seed or generator.
     """
     counts = _count_cells(labels)
-    released = noisy_histogram(labels, params, rng=rng)
-    if not released:
-        return HistogramChoice(key=None, noisy_count=0.0, true_count=0)
-    best_key = max(released, key=lambda key: released[key])
-    return HistogramChoice(
-        key=best_key,
-        noisy_count=float(released[best_key]),
-        true_count=int(counts[best_key]),
-    )
+    return stable_histogram_choice_from_counts(counts.items(), params,
+                                               rng=rng)
 
 
 def choosing_mechanism_requirement(params: PrivacyParams, beta: float,
@@ -155,7 +207,9 @@ def bucketize(values: np.ndarray, width: float, offset: float = 0.0) -> np.ndarr
 __all__ = [
     "HistogramChoice",
     "noisy_histogram",
+    "noisy_histogram_from_counts",
     "stable_histogram_choice",
+    "stable_histogram_choice_from_counts",
     "release_threshold",
     "choosing_mechanism_requirement",
     "choosing_mechanism_loss",

@@ -19,8 +19,19 @@ interchangeable strategies:
   one of the strategies above, per-shard results merged exactly; the right
   choice for very large ``n`` on multi-core machines.
 
-All strategies return *identical* integer counts and bit-identical ``L(r, S)``
-values (see :mod:`repro.neighbors._distance` for why), so swapping backends
+Beyond distance queries, every backend also answers *grid-hash* queries over
+an arbitrary linear image of its points through
+:meth:`~repro.neighbors.base.NeighborBackend.view` (a
+:class:`~repro.neighbors.base.ProjectedView`): heaviest-cell counts, box
+histograms, membership masks, and per-axis interval labels — the questions
+GoodCenter asks about its JL-projected and rotated points.  The sharded
+strategy applies the projection shard-side, so the parent never materialises
+the image.
+
+All strategies return *identical* integer counts, bit-identical ``L(r, S)``
+values, and identical view grid hashes (see
+:mod:`repro.neighbors._distance` and
+:func:`repro.geometry.jl.project_rows` for why), so swapping backends
 changes performance only — callers pick one per workload via
 :func:`auto_backend` / the ``backend=`` argument threaded through
 ``one_cluster``/``good_radius``/``good_center`` and the clustering
@@ -37,6 +48,8 @@ from repro.neighbors.base import (
     STREAMING_MIN_POINTS,
     STREAMING_TARGET_FRACTION,
     NeighborBackend,
+    ProjectedView,
+    first_occurrence_cells,
 )
 from repro.neighbors.chunked import ChunkedBackend
 from repro.neighbors.dense import DenseBackend
@@ -172,6 +185,8 @@ __all__ = [
     "TREE_MAX_DIMENSION",
     "HAVE_SCIPY_TREE",
     "NeighborBackend",
+    "ProjectedView",
+    "first_occurrence_cells",
     "DenseBackend",
     "ChunkedBackend",
     "TreeBackend",

@@ -48,6 +48,35 @@ def squared_distance_block(queries: np.ndarray, data: np.ndarray) -> np.ndarray:
     return np.einsum("qnd,qnd->qn", difference, difference)
 
 
+def squared_distance_gather(queries: np.ndarray,
+                            neighbors: np.ndarray) -> np.ndarray:
+    """Squared distances from each query to its own gathered candidate set.
+
+    ``neighbors`` is ``(q, k, d)``: row ``i`` holds ``k`` candidate points
+    for query ``i`` (e.g. KD-tree nearest-neighbour results).  Returns the
+    ``(q, k)`` squared distances **bitwise identical** to the corresponding
+    entries of :func:`squared_distance_block` — which matters because scipy's
+    ``cdist`` and numpy's einsum round the per-pair sum differently in the
+    last ulp, and mixing the two kernels across backends would break the
+    exact-parity contract (the tree backend's truncated statistic would
+    disagree with dense/chunked on generic float data).  On the scipy path
+    the pairs are translated to the origin — ``||x - y||^2`` equals
+    ``||(y - x) - 0||^2`` term for term, the inner subtraction being the same
+    single rounding — and pushed through the same ``cdist`` kernel in one
+    call; the scipy-less path shares the einsum formula with the blocked
+    fallback.
+    """
+    queries = np.asarray(queries, dtype=float)
+    neighbors = np.asarray(neighbors, dtype=float)
+    difference = neighbors - queries[:, None, :]
+    if _cdist is not None:
+        q, k, d = difference.shape
+        flat = np.ascontiguousarray(difference.reshape(q * k, d))
+        return _cdist(flat, np.zeros((1, d)),
+                      metric="sqeuclidean").reshape(q, k)
+    return np.einsum("qkd,qkd->qk", difference, difference)
+
+
 def row_block_size(num_points: int, dimension: int,
                    memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET) -> int:
     """How many query rows a blocked distance pass may process at once.

@@ -139,6 +139,288 @@ def _capped_profile(sorted_values: np.ndarray, rows: np.ndarray, n: int,
     return result
 
 
+def first_occurrence_cells(labels: np.ndarray):
+    """Unique labels with counts, ordered by first occurrence.
+
+    ``labels`` is either a ``(n,)`` scalar label array or a ``(n, k)``
+    label-vector array (one row per element).  Returns ``(unique, counts)``
+    with the unique labels ordered by the position of their first occurrence
+    in the input — the same cell order a ``collections.Counter`` built from
+    the label sequence would iterate in.  That ordering is load-bearing: the
+    stability-based histogram mechanism draws one noise variate per occupied
+    cell *in cell order*, so any path that precomputes the histogram (the
+    backend view layer, the sharded merge) must present the cells in exactly
+    this order for the release to be bit-identical to the label-sequence
+    path.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim == 1:
+        unique, first, counts = np.unique(labels, return_index=True,
+                                          return_counts=True)
+    else:
+        unique, first, counts = np.unique(labels, axis=0, return_index=True,
+                                          return_counts=True)
+    order = np.argsort(first, kind="stable")
+    return unique[order], counts[order]
+
+
+class ProjectedView:
+    """A queryable linear image ``Y = X A^T (+ b)`` of a backend's points.
+
+    GoodCenter never asks distance questions about the *projected* points —
+    only grid-hash questions: "how heavy is the heaviest box of this shifted
+    partition?", "what is the box histogram?", "which points fall in this
+    box?", and "what are the per-axis interval labels?".  A view answers
+    those questions over an arbitrary linear image (a JL projection, a random
+    rotation, or the identity) of the points a backend indexes, without the
+    caller ever materialising the image itself.
+
+    This base implementation serves the in-process strategies (dense /
+    chunked / tree): the image is computed once with the row-decomposable
+    :func:`repro.geometry.jl.project_rows` and cached on the view, so a
+    partition search probing many shifted partitions pays the projection cost
+    once.  :class:`~repro.neighbors.sharded.ShardedBackend` overrides
+    :meth:`NeighborBackend.view` with a fan-out implementation that ships the
+    small ``(k, d)`` matrix to the workers once and applies it shard-side
+    over the shared-memory block — the parent never holds the ``(n, k)``
+    image.  Because ``project_rows`` is bitwise row-decomposable and the grid
+    hashes (:func:`repro.geometry.boxes.box_labels`,
+    :func:`repro.geometry.boxes.interval_labels`) are shared single
+    definitions, every strategy's view returns identical integers — the
+    exact-parity contract extends to projected queries.
+
+    Parameters
+    ----------
+    backend:
+        The :class:`NeighborBackend` whose points the view images.
+    matrix:
+        ``(k, d)`` projection matrix, or ``None`` for the identity view.
+    offset:
+        Optional ``(k,)`` translation of the image.
+    """
+
+    def __init__(self, backend: "NeighborBackend", matrix=None,
+                 offset=None) -> None:
+        self._backend = backend
+        if matrix is not None:
+            matrix = np.asarray(matrix, dtype=float)
+            if matrix.ndim != 2 or matrix.shape[1] != backend.dimension:
+                raise ValueError(
+                    f"matrix must have shape (k, {backend.dimension}), got "
+                    f"{matrix.shape}"
+                )
+        self._matrix = matrix
+        if offset is not None:
+            offset = np.asarray(offset, dtype=float).reshape(-1)
+            k = matrix.shape[0] if matrix is not None else backend.dimension
+            if offset.shape[0] != k:
+                raise ValueError(
+                    f"offset must have {k} entries, got {offset.shape[0]}"
+                )
+        self._offset = offset
+        self._image_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Geometry of the image
+    # ------------------------------------------------------------------ #
+    @property
+    def backend(self) -> "NeighborBackend":
+        """The backend whose points the view images."""
+        return self._backend
+
+    @property
+    def matrix(self) -> Optional[np.ndarray]:
+        """The ``(k, d)`` projection matrix (``None`` = identity view)."""
+        return self._matrix
+
+    @property
+    def offset(self) -> Optional[np.ndarray]:
+        """The ``(k,)`` translation of the image (``None`` = no shift)."""
+        return self._offset
+
+    @property
+    def image_dimension(self) -> int:
+        """The dimension ``k`` of the image space."""
+        if self._matrix is not None:
+            return int(self._matrix.shape[0])
+        return self._backend.dimension
+
+    @property
+    def num_points(self) -> int:
+        """The number of imaged points (the backend's ``n``)."""
+        return self._backend.num_points
+
+    @property
+    def batch_size(self) -> int:
+        """How many partition-search attempts callers should batch per
+        :meth:`heaviest_cell_counts` call.  1 for in-process views (there is
+        no fan-out to amortise, and batching would waste hash passes beyond
+        the accepted attempt); the sharded view raises it."""
+        return 1
+
+    def _check_rows(self, rows) -> np.ndarray:
+        """Validate a row-subset index array (no negative wrap-around: the
+        sharded view routes rows to shards by value, so python-style negative
+        indices would silently diverge from the in-process view)."""
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        if rows.size and (int(rows.min()) < 0
+                          or int(rows.max()) >= self.num_points):
+            raise ValueError("rows must lie in [0, n)")
+        return rows
+
+    def image(self, rows=None) -> np.ndarray:
+        """The projected coordinates of (a row subset of) the points.
+
+        With ``rows=None`` the full ``(n, k)`` image is computed once and
+        cached on the view; with an index array only those rows are
+        projected (bitwise identical to slicing the full image, by
+        :func:`~repro.geometry.jl.project_rows` row-decomposability).
+        Identity views return (slices of) the backend's own points without
+        copying.
+        """
+        if rows is not None:
+            rows = self._check_rows(rows)
+        points = self._backend.points
+        if self._matrix is None and self._offset is None:
+            return points if rows is None else points[rows]
+        from repro.geometry.jl import apply_linear_image
+
+        if rows is not None:
+            return apply_linear_image(points[rows], self._matrix,
+                                      self._offset)
+        if self._image_cache is None:
+            self._image_cache = apply_linear_image(points, self._matrix,
+                                                   self._offset)
+        return self._image_cache
+
+    # ------------------------------------------------------------------ #
+    # Grid-hash queries
+    # ------------------------------------------------------------------ #
+    def _check_shifts(self, shifts, batched: bool) -> np.ndarray:
+        shifts = np.asarray(shifts, dtype=float)
+        if batched:
+            shifts = np.atleast_2d(shifts)
+            width_axis = shifts.shape[1]
+        else:
+            shifts = shifts.reshape(-1)
+            width_axis = shifts.shape[0]
+        if width_axis != self.image_dimension:
+            raise ValueError(
+                f"shifts have dimension {width_axis}, expected "
+                f"{self.image_dimension}"
+            )
+        return shifts
+
+    def heaviest_cell_counts(self, width: float, shifts) -> np.ndarray:
+        """Heaviest-box occupancy of the image, per shifted partition.
+
+        For each row of ``shifts`` (the per-axis offsets of one randomly
+        shifted partition of side ``width``) returns
+        ``max_B |{i : Y_i in box B}|`` — the sensitivity-1 query GoodCenter
+        feeds to AboveThreshold.
+
+        Parameters
+        ----------
+        width:
+            The box side length.
+        shifts:
+            ``(a, k)`` per-attempt shift vectors (a single ``(k,)`` vector is
+            promoted to one attempt).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(a,)`` ``int64`` heaviest-cell counts.
+        """
+        from repro.geometry.boxes import box_labels
+
+        shifts = self._check_shifts(shifts, batched=True)
+        image = self.image()
+        counts = np.empty(shifts.shape[0], dtype=np.int64)
+        for attempt in range(shifts.shape[0]):
+            labels = box_labels(image, shifts[attempt], float(width))
+            _, cell_counts = np.unique(labels, axis=0, return_counts=True)
+            counts[attempt] = int(cell_counts.max())
+        return counts
+
+    def label_array(self, width: float, shifts) -> np.ndarray:
+        """The ``(n, k)`` integer box-index vectors of every imaged point
+        under one shifted partition (the view analogue of
+        :meth:`~repro.geometry.boxes.ShiftedBoxPartition.label_array`)."""
+        from repro.geometry.boxes import box_labels
+
+        shifts = self._check_shifts(shifts, batched=False)
+        return box_labels(self.image(), shifts, float(width))
+
+    def cell_histogram(self, width: float, shifts, return_inverse: bool = False):
+        """Occupied boxes of one shifted partition, with their counts.
+
+        Returns ``(labels, counts)`` where ``labels`` is ``(m, k)`` (one row
+        per occupied box) and ``counts`` is ``(m,)``, ordered by the box's
+        first occurrence in dataset-row order — the cell order the
+        stability-based histogram mechanism needs for bit-identical noise
+        draws (see :func:`first_occurrence_cells`).
+
+        With ``return_inverse=True`` a third ``(n,)`` array maps every imaged
+        point to its box's position in ``labels``, so a caller choosing a box
+        from the histogram gets the membership mask as ``inverse == position``
+        without a second hash pass (or, for the sharded view, a second
+        fan-out).
+        """
+        labels = self.label_array(width, shifts)
+        if not return_inverse:
+            return first_occurrence_cells(labels)
+        unique, first, inverse, counts = np.unique(
+            labels, axis=0, return_index=True, return_inverse=True,
+            return_counts=True,
+        )
+        order = np.argsort(first, kind="stable")
+        position = np.empty(order.shape[0], dtype=np.int64)
+        position[order] = np.arange(order.shape[0], dtype=np.int64)
+        return unique[order], counts[order], position[np.reshape(inverse, -1)]
+
+    def label_mask(self, width: float, shifts, label) -> np.ndarray:
+        """Boolean mask of the imaged points falling in the box ``label``
+        of the shifted partition ``(width, shifts)``."""
+        label = np.asarray(label, dtype=np.int64).reshape(-1)
+        labels = self.label_array(width, shifts)
+        if label.shape[0] != labels.shape[1]:
+            raise ValueError(
+                f"label has {label.shape[0]} axes, expected {labels.shape[1]}"
+            )
+        return np.all(labels == label[None, :], axis=1)
+
+    def axis_interval_labels(self, width: float, offset: float = 0.0,
+                             rows=None) -> np.ndarray:
+        """Per-axis interval labels of (a row subset of) the image.
+
+        Labels *all* ``k`` axes of the image in one call —
+        ``result[:, j] = floor((Y[:, j] - offset) / width)`` — which is how
+        GoodCenter's rotated-axis stage (Algorithm 2, step 9) gets its ``d``
+        per-axis histograms in a single backend round-trip instead of one
+        serial pass per axis.
+
+        Parameters
+        ----------
+        width:
+            The interval length ``p``.
+        offset:
+            The partition origin (0 in the paper).
+        rows:
+            Optional sorted-or-not index array restricting the labelling to a
+            subset of the points (GoodCenter labels only the points mapped
+            into the chosen box).  Row order of the result follows ``rows``.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(q, k)`` ``int64`` interval labels.
+        """
+        from repro.geometry.boxes import interval_labels
+
+        return interval_labels(self.image(rows), float(width), float(offset))
+
+
 class NeighborBackend(abc.ABC):
     """Distance-query oracle over a fixed ``(n, d)`` dataset."""
 
@@ -172,6 +454,31 @@ class NeighborBackend(abc.ABC):
     def dimension(self) -> int:
         """The ambient dimension ``d``."""
         return int(self._points.shape[1])
+
+    # ------------------------------------------------------------------ #
+    # Projected dataset views
+    # ------------------------------------------------------------------ #
+    def view(self, matrix=None, offset=None) -> ProjectedView:
+        """A :class:`ProjectedView` over the linear image ``X A^T (+ b)`` of
+        the indexed points.
+
+        Parameters
+        ----------
+        matrix:
+            ``(k, d)`` projection matrix (a JL map, a rotation basis), or
+            ``None`` for the identity view.
+        offset:
+            Optional ``(k,)`` translation.
+
+        Returns
+        -------
+        ProjectedView
+            A handle answering grid-hash queries (heaviest-cell counts, box
+            histograms, membership masks, per-axis interval labels) over the
+            image.  Strategies with worker processes override this to apply
+            the projection shard-side; results are bit-identical either way.
+        """
+        return ProjectedView(self, matrix=matrix, offset=offset)
 
     # ------------------------------------------------------------------ #
     # Primitives each strategy implements
@@ -397,6 +704,8 @@ class NeighborBackend(abc.ABC):
 
 __all__ = [
     "NeighborBackend",
+    "ProjectedView",
     "STREAMING_MIN_POINTS",
     "STREAMING_TARGET_FRACTION",
+    "first_occurrence_cells",
 ]

@@ -33,6 +33,7 @@ count.
 
 from __future__ import annotations
 
+import itertools
 import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -48,8 +49,13 @@ from repro.neighbors._distance import (
     row_block_size,
     truncated_squared_cross,
 )
-from repro.neighbors.base import NeighborBackend
+from repro.neighbors.base import NeighborBackend, ProjectedView
 from repro.utils.validation import check_integer, check_points
+
+#: Monotonic ids for projected views: workers cache each shard's projected
+#: image keyed by the view's token, so a view's matrix is applied to a shard
+#: at most once per worker process no matter how many queries it answers.
+_VIEW_TOKENS = itertools.count(1)
 
 
 def _available_cpus() -> int:
@@ -81,6 +87,10 @@ class _ShardSet:
         self.bounds = list(bounds)
         self.inner_backend = inner_backend
         self._backends = {}
+        #: Per-shard cached projected image: ``shard -> (view token, image)``.
+        #: One entry per shard (the latest view wins), so a long-lived worker
+        #: holds at most one ``(shard n, k)`` image per shard it serves.
+        self._view_images = {}
 
     def backend(self, shard: int) -> NeighborBackend:
         """The inner backend indexing shard ``shard`` (built on first use).
@@ -149,12 +159,54 @@ class _ShardSet:
         return capped_count_histograms(self.points[low:high], self.points,
                                        keys, cap, block)
 
-    def heaviest_cells(self, shard: int, width: float,
-                       shifts: np.ndarray) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Per-attempt partial box histograms of this shard's points.
+    # ------------------------------------------------------------------ #
+    # Projected-view sub-queries (GoodCenter's grid hashing)
+    # ------------------------------------------------------------------ #
+    def view_image(self, shard: int, token: Optional[int],
+                   matrix: Optional[np.ndarray],
+                   offset: Optional[np.ndarray],
+                   rows: Optional[np.ndarray] = None) -> np.ndarray:
+        """This shard's rows under a view's linear image.
+
+        ``rows`` (shard-local indices) restricts the image to a subset and is
+        never cached; the full-shard image of a non-identity view is cached
+        per ``token`` so the matrix shipped with each task is applied at most
+        once per worker.  Projection goes through the row-decomposable
+        :func:`repro.geometry.jl.project_rows`, so the shard-side image is
+        bitwise identical to slicing a parent-side projection.
+        """
+        low, high = self.bounds[shard]
+        if matrix is None and offset is None:
+            base = self.points[low:high]
+            return base if rows is None else base[rows]
+        from repro.geometry.jl import apply_linear_image
+
+        if rows is not None:
+            return apply_linear_image(self.points[low:high][rows], matrix,
+                                      offset)
+        cached = self._view_images.get(shard)
+        if token is None or cached is None or cached[0] != token:
+            image = apply_linear_image(self.points[low:high], matrix, offset)
+            if token is None:
+                return image
+            self._view_images[shard] = (token, image)
+            cached = self._view_images[shard]
+        return cached[1]
+
+    def clear_view_images(self) -> None:
+        """Drop every cached per-shard view image (see
+        :meth:`ShardedBackend.close`)."""
+        self._view_images.clear()
+
+    def view_heaviest_cells(self, shard: int, token: Optional[int],
+                            matrix: Optional[np.ndarray],
+                            offset: Optional[np.ndarray], width: float,
+                            shifts: np.ndarray,
+                            ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per-attempt partial box histograms of this shard's imaged points.
 
         For each row of ``shifts`` (one shifted partition attempt) the
-        shard's points are hashed through the same
+        shard's image is hashed through the same
         :func:`repro.geometry.boxes.box_labels` grid hash as
         ``ShiftedBoxPartition`` — the shared definition is what makes the
         labels bit-identical to a single-process pass — and the unique
@@ -162,14 +214,73 @@ class _ShardSet:
         """
         from repro.geometry.boxes import box_labels
 
-        low, high = self.bounds[shard]
-        shard_points = self.points[low:high]
+        image = self.view_image(shard, token, matrix, offset)
         results = []
         for shift in np.atleast_2d(np.asarray(shifts, dtype=float)):
-            labels = box_labels(shard_points, shift, width)
+            labels = box_labels(image, shift, width)
             unique, counts = np.unique(labels, axis=0, return_counts=True)
             results.append((unique, counts))
         return results
+
+    def view_cell_histogram(self, shard: int, token: Optional[int],
+                            matrix: Optional[np.ndarray],
+                            offset: Optional[np.ndarray], width: float,
+                            shifts: np.ndarray, want_inverse: bool,
+                            ) -> Tuple[np.ndarray, ...]:
+        """One partition's occupied boxes over this shard: ``(labels, counts,
+        first local row[, per-point local group ids])``.  The
+        first-occurrence rows let the parent restore global first-occurrence
+        cell order, which the stability histogram's noise draws depend on;
+        the optional group ids let it assemble the per-point box index
+        without a second hash pass."""
+        from repro.geometry.boxes import box_labels
+
+        image = self.view_image(shard, token, matrix, offset)
+        labels = box_labels(image, np.asarray(shifts, dtype=float), width)
+        if not want_inverse:
+            unique, first, counts = np.unique(
+                labels, axis=0, return_index=True, return_counts=True
+            )
+            return unique, counts, first
+        unique, first, inverse, counts = np.unique(
+            labels, axis=0, return_index=True, return_inverse=True,
+            return_counts=True,
+        )
+        return unique, counts, first, np.reshape(inverse, -1)
+
+    def view_label_array(self, shard: int, token: Optional[int],
+                         matrix: Optional[np.ndarray],
+                         offset: Optional[np.ndarray], width: float,
+                         shifts: np.ndarray) -> np.ndarray:
+        """The shard's imaged points' box-index vectors under one partition."""
+        from repro.geometry.boxes import box_labels
+
+        image = self.view_image(shard, token, matrix, offset)
+        return box_labels(image, np.asarray(shifts, dtype=float), width)
+
+    def view_label_mask(self, shard: int, token: Optional[int],
+                        matrix: Optional[np.ndarray],
+                        offset: Optional[np.ndarray], width: float,
+                        shifts: np.ndarray, label: np.ndarray) -> np.ndarray:
+        """Boolean membership of the shard's imaged points in box ``label``."""
+        labels = self.view_label_array(shard, token, matrix, offset, width,
+                                       shifts)
+        return np.all(labels == np.asarray(label, dtype=np.int64)[None, :],
+                      axis=1)
+
+    def view_axis_labels(self, shard: int, token: Optional[int],
+                         matrix: Optional[np.ndarray],
+                         offset: Optional[np.ndarray], width: float,
+                         axis_offset: float,
+                         rows: Optional[np.ndarray]) -> np.ndarray:
+        """Per-axis interval labels of (a shard-local row subset of) the
+        shard's image — all axes in one pass.  Full-shard calls go through
+        the token-keyed image cache like every other view query; row subsets
+        project just their rows (never cached)."""
+        from repro.geometry.boxes import interval_labels
+
+        image = self.view_image(shard, token, matrix, offset, rows=rows)
+        return interval_labels(image, width, axis_offset)
 
 
 # --------------------------------------------------------------------------- #
@@ -334,7 +445,9 @@ class ShardedBackend(NeighborBackend):
         """Shut down the pool and release the shared-memory block.
 
         Safe to call repeatedly; also invoked on garbage collection.  After
-        closing, the next query transparently restarts the pool.
+        closing, the next query transparently restarts the pool.  Also drops
+        the serial fallback's cached view images (in pool mode those caches
+        live in the worker processes and die with them).
         """
         executor, self._executor = self._executor, None
         if executor is not None:
@@ -346,6 +459,7 @@ class ShardedBackend(NeighborBackend):
                 shm.unlink()
             except (FileNotFoundError, OSError):  # pragma: no cover
                 pass
+        self._shards.clear_view_images()
 
     def __enter__(self) -> "ShardedBackend":
         return self
@@ -364,13 +478,23 @@ class ShardedBackend(NeighborBackend):
     # ------------------------------------------------------------------ #
     def _map_shards(self, method: str, args: tuple) -> list:
         """Run ``method(shard, *args)`` for every shard; pool if available."""
+        return self._map_shards_per(method, [args] * self.num_shards)
+
+    def _map_shards_per(self, method: str,
+                        per_shard_args: Sequence[tuple]) -> list:
+        """Like :meth:`_map_shards`, but with per-shard argument tuples (used
+        when each shard receives only its own slice of a payload, e.g. the
+        row subset of a view's axis-label query)."""
         executor = self._ensure_executor()
         shards = range(self.num_shards)
         if executor is None:
-            return [getattr(self._shards, method)(s, *args) for s in shards]
+            return [getattr(self._shards, method)(s, *per_shard_args[s])
+                    for s in shards]
         try:
-            futures = [executor.submit(_run_shard_task, method, s, args)
-                       for s in shards]
+            futures = [
+                executor.submit(_run_shard_task, method, s, per_shard_args[s])
+                for s in shards
+            ]
             return [future.result() for future in futures]
         except (BrokenProcessPool, OSError) as error:  # pragma: no cover
             self._pool_failed = True
@@ -381,7 +505,8 @@ class ShardedBackend(NeighborBackend):
                 RuntimeWarning,
                 stacklevel=3,
             )
-            return [getattr(self._shards, method)(s, *args) for s in shards]
+            return [getattr(self._shards, method)(s, *per_shard_args[s])
+                    for s in shards]
 
     def _iter_shards(self, method: str, args: tuple, wave: int = None):
         """Like :meth:`_map_shards`, but yield results one shard at a time.
@@ -516,6 +641,20 @@ class ShardedBackend(NeighborBackend):
     # ------------------------------------------------------------------ #
     # Grid hashing (GoodCenter's partition search)
     # ------------------------------------------------------------------ #
+    def view(self, matrix=None, offset=None) -> "ProjectedView":
+        """A sharded :class:`~repro.neighbors.base.ProjectedView`.
+
+        The ``(k, d)`` projection matrix travels with each shard task (it is
+        tiny) and is applied shard-side over the shared-memory block — the
+        parent never materialises the ``(n, k)`` image.  Workers cache each
+        shard's image per view, so repeated queries (a partition search
+        probing hundreds of shifted partitions) project each shard once.
+        Results are bit-identical to the in-process view because the
+        projection is row-decomposable and the grid hashes are shared single
+        definitions (see :func:`repro.geometry.jl.project_rows`).
+        """
+        return _ShardedView(self, matrix=matrix, offset=offset)
+
     def heaviest_cell_counts(self, width: float, shifts) -> np.ndarray:
         """Heaviest-box occupancy for a batch of shifted partitions.
 
@@ -524,7 +663,9 @@ class ShardedBackend(NeighborBackend):
         3–5) — returns ``max_B |{x in S : x in box B}|``.  Grid hashing is a
         radius-count in disguise: each shard buckets its own points
         (bit-identically to a single-process pass) and the parent sums the
-        per-label counts across shards before taking the max.
+        per-label counts across shards before taking the max.  Equivalent to
+        ``self.view().heaviest_cell_counts(width, shifts)`` (the identity
+        view); kept as a method because the identity case predates views.
 
         Parameters
         ----------
@@ -539,13 +680,37 @@ class ShardedBackend(NeighborBackend):
         numpy.ndarray
             ``(a,)`` ``int64`` heaviest-cell counts, one per attempt.
         """
-        shifts = np.atleast_2d(np.asarray(shifts, dtype=float))
-        if shifts.shape[1] != self.dimension:
-            raise ValueError(
-                f"shifts have dimension {shifts.shape[1]}, expected "
-                f"{self.dimension}"
-            )
-        parts = self._map_shards("heaviest_cells", (float(width), shifts))
+        return self.view().heaviest_cell_counts(width, shifts)
+
+
+class _ShardedView(ProjectedView):
+    """Fan-out implementation of :class:`ProjectedView` for the sharded
+    backend: grid hashes run shard-side (over worker processes when the pool
+    is up), partial histograms merge exactly in the parent."""
+
+    def __init__(self, backend: ShardedBackend, matrix=None,
+                 offset=None) -> None:
+        super().__init__(backend, matrix=matrix, offset=offset)
+        # Identity views read the shared-memory block directly — no cache to
+        # key, so no token.
+        self._token = (next(_VIEW_TOKENS)
+                       if self._matrix is not None or self._offset is not None
+                       else None)
+
+    @property
+    def batch_size(self) -> int:
+        """Partition-search attempts batched per request (amortises the
+        per-shard fan-out)."""
+        return int(getattr(self._backend, "HEAVIEST_CELL_BATCH", 8))
+
+    def _view_args(self) -> tuple:
+        return (self._token, self._matrix, self._offset)
+
+    def heaviest_cell_counts(self, width: float, shifts) -> np.ndarray:
+        shifts = self._check_shifts(shifts, batched=True)
+        parts = self._backend._map_shards(
+            "view_heaviest_cells", (*self._view_args(), float(width), shifts)
+        )
         maxima = np.empty(shifts.shape[0], dtype=np.int64)
         for attempt in range(shifts.shape[0]):
             labels = np.concatenate([part[attempt][0] for part in parts])
@@ -554,6 +719,88 @@ class ShardedBackend(NeighborBackend):
             merged = np.bincount(np.reshape(inverse, -1), weights=counts)
             maxima[attempt] = int(merged.max())
         return maxima
+
+    def label_array(self, width: float, shifts) -> np.ndarray:
+        shifts = self._check_shifts(shifts, batched=False)
+        parts = self._backend._map_shards(
+            "view_label_array", (*self._view_args(), float(width), shifts)
+        )
+        return np.concatenate(parts, axis=0)
+
+    def cell_histogram(self, width: float, shifts,
+                       return_inverse: bool = False):
+        shifts = self._check_shifts(shifts, batched=False)
+        parts = self._backend._map_shards(
+            "view_cell_histogram",
+            (*self._view_args(), float(width), shifts, bool(return_inverse)),
+        )
+        bounds = self._backend.shard_bounds
+        all_labels = np.concatenate([part[0] for part in parts], axis=0)
+        all_counts = np.concatenate([part[1] for part in parts])
+        all_firsts = np.concatenate([
+            part[2] + low for part, (low, _) in zip(parts, bounds)
+        ])
+        unique, group = np.unique(all_labels, axis=0, return_inverse=True)
+        group = np.reshape(group, -1)      # global group of each shard-unique
+        counts = np.bincount(group, weights=all_counts,
+                             minlength=unique.shape[0]).astype(np.int64)
+        first = np.full(unique.shape[0], self.num_points, dtype=np.int64)
+        np.minimum.at(first, group, all_firsts)
+        order = np.argsort(first, kind="stable")
+        if not return_inverse:
+            return unique[order], counts[order]
+        # Per-point positions: each shard's local group ids index into its
+        # slice of the concatenated uniques, whose global groups are in
+        # `group`; remap those through the first-occurrence ordering.
+        position = np.empty(order.shape[0], dtype=np.int64)
+        position[order] = np.arange(order.shape[0], dtype=np.int64)
+        point_positions = []
+        offset = 0
+        for part in parts:
+            shard_groups = group[offset:offset + part[0].shape[0]]
+            point_positions.append(position[shard_groups[part[3]]])
+            offset += part[0].shape[0]
+        return unique[order], counts[order], np.concatenate(point_positions)
+
+    def label_mask(self, width: float, shifts, label) -> np.ndarray:
+        label = np.asarray(label, dtype=np.int64).reshape(-1)
+        if label.shape[0] != self.image_dimension:
+            raise ValueError(
+                f"label has {label.shape[0]} axes, expected "
+                f"{self.image_dimension}"
+            )
+        shifts = self._check_shifts(shifts, batched=False)
+        parts = self._backend._map_shards(
+            "view_label_mask",
+            (*self._view_args(), float(width), shifts, label),
+        )
+        return np.concatenate(parts)
+
+    def axis_interval_labels(self, width: float, offset: float = 0.0,
+                             rows=None) -> np.ndarray:
+        if rows is None:
+            parts = self._backend._map_shards(
+                "view_axis_labels",
+                (*self._view_args(), float(width), float(offset), None),
+            )
+            return np.concatenate(parts, axis=0)
+        rows = self._check_rows(rows)
+        # Ship each shard only its own (shard-local) slice of the subset;
+        # results come back shard-major, i.e. in ascending-row order, so a
+        # stable argsort restores the caller's row order afterwards.
+        order = np.argsort(rows, kind="stable")
+        sorted_rows = rows[order]
+        per_shard = []
+        for low, high in self._backend.shard_bounds:
+            lo = np.searchsorted(sorted_rows, low, side="left")
+            hi = np.searchsorted(sorted_rows, high, side="left")
+            per_shard.append((*self._view_args(), float(width),
+                              float(offset), sorted_rows[lo:hi] - low))
+        parts = self._backend._map_shards_per("view_axis_labels", per_shard)
+        stacked = np.concatenate(parts, axis=0)
+        result = np.empty_like(stacked)
+        result[order] = stacked
+        return result
 
 
 __all__ = ["ShardedBackend"]

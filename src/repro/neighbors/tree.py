@@ -18,6 +18,7 @@ import numpy as np
 from repro.neighbors._distance import (
     DEFAULT_MEMORY_BUDGET,
     row_block_size,
+    squared_distance_gather,
     truncated_squared_bruteforce,
 )
 from repro.neighbors._kdtree import PyKDTree
@@ -90,15 +91,19 @@ class TreeBackend(NeighborBackend):
             if indices.ndim == 1:
                 indices = indices.reshape(-1, 1)
             # The query's returned distances are sqrt-rounded; recompute the
-            # squared values exactly from the neighbour indices so counts
-            # match the other backends bit-for-bit.
+            # squared values from the neighbour indices through the shared
+            # gather kernel, whose rounding matches the blocked brute-force
+            # kernel to the last ulp — so the statistic (and everything
+            # derived from it, e.g. kth_distances) matches the other backends
+            # bit-for-bit even on generic float data.
             n, d = self._points.shape
             squared = np.empty((n, k), dtype=float)
             block = max(16, DEFAULT_MEMORY_BUDGET // max(1, 16 * k * d))
             for start in range(0, n, block):
-                difference = (self._points[start:start + block, None, :]
-                              - self._points[indices[start:start + block]])
-                chunk = np.einsum("qkd,qkd->qk", difference, difference)
+                chunk = squared_distance_gather(
+                    self._points[start:start + block],
+                    self._points[indices[start:start + block]],
+                )
                 chunk.sort(axis=1)
                 squared[start:start + block] = chunk
             return squared

@@ -13,6 +13,55 @@ import pytest
 from repro.accounting.params import PrivacyParams
 from repro.datasets.synthetic import planted_cluster
 
+#: The ``backend=`` selections the ``neighbor_backend`` fixture cycles
+#: through.  "reference" is the in-parent path (``backend=None``); "sharded"
+#: builds a 3-shard serial instance so the fan-out/merge code runs without a
+#: worker pool (pool transport itself is covered by the slow suite).
+BACKEND_CHOICES = ("reference", "dense", "chunked", "tree", "sharded")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend",
+        action="store",
+        default=None,
+        choices=BACKEND_CHOICES,
+        help="restrict tests using the neighbor_backend fixture to one "
+             "backend (default: run them across all of them)",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    if "neighbor_backend" in metafunc.fixturenames:
+        option = metafunc.config.getoption("--backend")
+        names = [option] if option else list(BACKEND_CHOICES)
+        metafunc.parametrize("neighbor_backend", names, indirect=True)
+
+
+@pytest.fixture
+def neighbor_backend(request):
+    """A per-backend factory: ``neighbor_backend(points)`` returns the value
+    to pass as ``backend=`` for the parametrized backend name.
+
+    End-to-end tests take this fixture to run once per backend without
+    duplicating their bodies; ``pytest --backend dense`` (etc.) restricts the
+    sweep to a single strategy.  The selected name is exposed as
+    ``neighbor_backend.backend_name``.
+    """
+    name = request.param
+
+    def factory(points):
+        if name == "reference":
+            return None
+        if name == "sharded":
+            from repro.neighbors import ShardedBackend
+
+            return ShardedBackend(points, num_shards=3, num_workers=0)
+        return name
+
+    factory.backend_name = name
+    return factory
+
 
 @pytest.fixture
 def rng():

@@ -291,8 +291,12 @@ class TestIntegration:
             )
 
 
+@pytest.mark.slow
 class TestMemoryGuard:
-    """Chunked/Tree at n = 20k must never allocate an (n, n) array."""
+    """Chunked/Tree at n = 20k must never allocate an (n, n) array.
+
+    Marked slow (n = 20k work): runs in the dedicated ``-m slow`` CI job, not
+    the tier-1 loop."""
 
     N = 20000
     TARGET = 200

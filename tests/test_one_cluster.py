@@ -19,10 +19,11 @@ from repro.geometry.grid import GridDomain
 
 
 class TestOneClusterIntegration:
-    def test_end_to_end_recovery(self, medium_cluster_data):
+    def test_end_to_end_recovery(self, medium_cluster_data, neighbor_backend):
         data = medium_cluster_data
         params = PrivacyParams(8.0, 1e-5)
-        result = one_cluster(data.points, target=400, params=params, rng=0)
+        result = one_cluster(data.points, target=400, params=params, rng=0,
+                             backend=neighbor_backend(data.points))
         assert result.found
         error = np.linalg.norm(result.ball.center - data.true_ball.center)
         assert error <= 0.3

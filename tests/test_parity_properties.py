@@ -1,0 +1,294 @@
+"""Property-based cross-backend parity suite.
+
+Randomised-but-seeded generators sweep dataset shapes the hand-picked cases
+in ``test_neighbors.py`` / ``test_sharded.py`` cannot enumerate — sizes,
+dimensions, duplicate blocks, colinear and fully degenerate point sets,
+integer grids with exactly representable boundary distances — and assert the
+library-wide contract *bitwise* on every draw: dense, chunked, tree and
+sharded (any shard count, serial mode) backends return identical integer
+counts, identical truncated statistics and ``L(r, S)`` scores, and identical
+projected-view grid hashes.
+
+Hypothesis runs derandomised (the suite is deterministic in CI); the point
+generators draw a numpy seed and build arrays outside hypothesis for speed.
+The hypothesis sweep classes are marked ``slow`` — they belong in the
+dedicated parity/property CI job, and their budget (``max_examples``) can
+grow there without dragging the tier-1 loop; the plain API-validation tests
+at the bottom stay in tier-1.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.boxes import ShiftedBoxPartition, box_labels, interval_labels
+from repro.geometry.jl import project_rows
+from repro.neighbors import (
+    BACKENDS,
+    ChunkedBackend,
+    DenseBackend,
+    ShardedBackend,
+    TreeBackend,
+)
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+SCENARIOS = ("uniform", "gaussian", "duplicates", "colinear", "identical",
+             "integer")
+
+
+def build_points(scenario: str, n: int, d: int, seed: int) -> np.ndarray:
+    """Deterministically build an ``(n, d)`` dataset for one scenario."""
+    rng = np.random.default_rng(seed)
+    if scenario == "uniform":
+        return rng.uniform(-2.0, 2.0, size=(n, d))
+    if scenario == "gaussian":
+        return rng.normal(0.0, rng.uniform(0.01, 10.0), size=(n, d))
+    if scenario == "duplicates":
+        # A handful of distinct rows, each repeated many times in shuffled
+        # order — ties and repeated zero distances everywhere.
+        distinct = rng.uniform(-1.0, 1.0, size=(max(2, n // 8), d))
+        rows = distinct[rng.integers(0, distinct.shape[0], size=n)]
+        return rows
+    if scenario == "colinear":
+        # All points on one line: every pairwise distance is a multiple of
+        # the direction norm, exercising heavy boundary collisions.
+        direction = rng.normal(size=d)
+        offsets = rng.uniform(-3.0, 3.0, size=n)
+        return offsets[:, None] * direction[None, :]
+    if scenario == "identical":
+        return np.tile(rng.uniform(-1.0, 1.0, size=(1, d)), (n, 1))
+    if scenario == "integer":
+        # Integer coordinates: squared distances are exact integers, so
+        # boundary radii (below) hit representable values dead on.
+        return rng.integers(-4, 5, size=(n, d)).astype(float)
+    raise AssertionError(scenario)
+
+
+def boundary_radii(points: np.ndarray, seed: int) -> np.ndarray:
+    """Probe radii: negatives, zero, *exact* pairwise distances (boundary
+    hits), the span, and uniform probes."""
+    rng = np.random.default_rng(seed)
+    sample = points[rng.integers(0, points.shape[0], size=min(12, points.shape[0]))]
+    deltas = sample[:, None, :] - points[None, :, :]
+    distances = np.sqrt(np.einsum("qnd,qnd->qn", deltas, deltas)).ravel()
+    positive = distances[distances > 0]
+    exact = (rng.choice(positive, size=min(6, positive.size), replace=False)
+             if positive.size else np.empty(0))
+    span = float(distances.max(initial=0.0))
+    probes = rng.uniform(0.0, span * 1.1 + 0.1, size=5)
+    return np.concatenate([[-1.0, -1e-12, 0.0, span], exact, probes])
+
+
+def make_backends(points: np.ndarray, num_shards: int) -> dict:
+    return {
+        "dense": DenseBackend(points),
+        "chunked": ChunkedBackend(points),
+        "tree": TreeBackend(points),
+        f"sharded[{num_shards}]": ShardedBackend(
+            points, num_shards=num_shards, num_workers=0
+        ),
+    }
+
+
+datasets = st.tuples(
+    st.sampled_from(SCENARIOS),
+    st.integers(min_value=2, max_value=90),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=2 ** 16),
+    st.integers(min_value=1, max_value=7),     # shard count
+)
+
+
+@pytest.mark.slow
+class TestCountParity:
+    @SETTINGS
+    @given(case=datasets)
+    def test_counts_and_batched_grid_bitwise_equal(self, case):
+        scenario, n, d, seed, shards = case
+        points = build_points(scenario, n, d, seed)
+        radii = boundary_radii(points, seed + 1)
+        centers = np.vstack([
+            points[:: max(1, n // 5)],
+            np.random.default_rng(seed + 2).uniform(-3, 3, size=(4, d)),
+        ])
+        backends = make_backends(points, shards)
+        reference_many = backends["dense"].count_within_many(centers, radii)
+        for name, backend in backends.items():
+            for radius in radii[:4]:
+                counts = backend.query_radius_counts(centers, float(radius))
+                assert counts.dtype == np.int64, name
+                assert np.array_equal(
+                    counts,
+                    backends["dense"].query_radius_counts(centers,
+                                                          float(radius)),
+                ), (name, scenario, radius)
+            batched = backend.count_within_many(centers, radii)
+            assert np.array_equal(batched, reference_many), (name, scenario)
+            assert np.array_equal(
+                backend.radius_counts(float(radii[-1])),
+                backends["dense"].radius_counts(float(radii[-1])),
+            ), (name, scenario)
+
+
+@pytest.mark.slow
+class TestStatisticParity:
+    @SETTINGS
+    @given(case=datasets)
+    def test_truncated_statistic_and_scores_bitwise_equal(self, case):
+        scenario, n, d, seed, shards = case
+        points = build_points(scenario, n, d, seed)
+        radii = boundary_radii(points, seed + 3)
+        backends = make_backends(points, shards)
+        targets = sorted({1, max(1, n // 3), max(1, int(0.9 * n)), n})
+        for name, backend in backends.items():
+            for target in targets:
+                assert np.array_equal(
+                    backend.capped_average_scores(radii, target),
+                    backends["dense"].capped_average_scores(radii, target),
+                ), (name, scenario, target)
+            # The streaming walk is an independent evaluation strategy and
+            # must agree bit for bit as well.
+            target = targets[-2] if len(targets) > 1 else targets[0]
+            assert np.array_equal(
+                backend.capped_average_scores(radii, target, streaming=True),
+                backends["dense"].capped_average_scores(radii, target,
+                                                        streaming=False),
+            ), (name, scenario)
+            for k in (1, max(1, n // 2), n):
+                assert np.array_equal(
+                    backend.kth_distances(k),
+                    backends["dense"].kth_distances(k),
+                ), (name, scenario, k)
+
+
+@pytest.mark.slow
+class TestViewParity:
+    @SETTINGS
+    @given(case=datasets, image_dim=st.integers(min_value=1, max_value=4),
+           identity=st.booleans())
+    def test_view_grid_hashes_bitwise_equal(self, case, image_dim, identity):
+        scenario, n, d, seed, shards = case
+        points = build_points(scenario, n, d, seed)
+        rng = np.random.default_rng(seed + 4)
+        if identity:
+            matrix = None
+            image = points
+            k = d
+        else:
+            matrix = rng.normal(size=(image_dim, d))
+            image = project_rows(points, matrix)
+            k = image_dim
+        width = float(rng.uniform(0.05, 2.0))
+        shifts = rng.uniform(0.0, width, size=(3, k))
+
+        # In-parent reference: the same single-definition hashes GoodCenter's
+        # no-backend path uses.
+        reference_labels = box_labels(image, shifts[0], width)
+        reference_counts = np.array([
+            np.unique(box_labels(image, shift, width), axis=0,
+                      return_counts=True)[1].max()
+            for shift in shifts
+        ])
+        unique, first, counts = np.unique(reference_labels, axis=0,
+                                          return_index=True,
+                                          return_counts=True)
+        order = np.argsort(first, kind="stable")
+        reference_hist = (unique[order], counts[order])
+        chosen = reference_hist[0][int(rng.integers(0, unique.shape[0]))]
+        reference_mask = np.all(reference_labels == chosen[None, :], axis=1)
+        rows = np.flatnonzero(reference_mask)
+        reference_axis = interval_labels(image[rows], width)
+
+        for name, backend in make_backends(points, shards).items():
+            view = backend.view(matrix)
+            assert view.image_dimension == k
+            assert np.array_equal(
+                view.heaviest_cell_counts(width, shifts), reference_counts
+            ), (name, scenario)
+            assert np.array_equal(
+                view.label_array(width, shifts[0]), reference_labels
+            ), (name, scenario)
+            hist_labels, hist_counts = view.cell_histogram(width, shifts[0])
+            assert np.array_equal(hist_labels, reference_hist[0]), (name,
+                                                                    scenario)
+            assert np.array_equal(hist_counts, reference_hist[1]), (name,
+                                                                    scenario)
+            assert np.array_equal(
+                view.label_mask(width, shifts[0], chosen), reference_mask
+            ), (name, scenario)
+            # return_inverse: positions reconstruct every point's label and
+            # encode the membership mask without a second hash pass.
+            inv_labels, inv_counts, positions = view.cell_histogram(
+                width, shifts[0], return_inverse=True
+            )
+            assert np.array_equal(inv_labels, reference_hist[0]), (name,
+                                                                   scenario)
+            assert np.array_equal(inv_counts, reference_hist[1]), (name,
+                                                                   scenario)
+            assert np.array_equal(inv_labels[positions], reference_labels), (
+                name, scenario)
+            chosen_position = int(np.flatnonzero(
+                np.all(reference_hist[0] == chosen[None, :], axis=1)
+            )[0])
+            assert np.array_equal(positions == chosen_position,
+                                  reference_mask), (name, scenario)
+            assert np.array_equal(
+                view.axis_interval_labels(width, rows=rows), reference_axis
+            ), (name, scenario)
+
+    @SETTINGS
+    @given(case=datasets)
+    def test_axis_labels_preserve_caller_row_order(self, case):
+        scenario, n, d, seed, shards = case
+        points = build_points(scenario, n, d, seed)
+        rng = np.random.default_rng(seed + 5)
+        basis = rng.normal(size=(d, d))
+        rows = rng.permutation(n)[: max(1, n // 2)]   # deliberately unsorted
+        reference = interval_labels(project_rows(points[rows], basis), 0.4)
+        for name, backend in make_backends(points, shards).items():
+            got = backend.view(basis).axis_interval_labels(0.4, rows=rows)
+            assert np.array_equal(got, reference), (name, scenario)
+
+
+class TestViewValidation:
+    def test_matrix_shape_rejected(self):
+        backend = DenseBackend(np.zeros((4, 3)))
+        with pytest.raises(ValueError):
+            backend.view(np.zeros((2, 5)))
+
+    def test_rows_out_of_range_rejected(self):
+        points = np.arange(12.0).reshape(6, 2)
+        for backend in (DenseBackend(points),
+                        ShardedBackend(points, num_shards=2, num_workers=0)):
+            view = backend.view(np.eye(2))
+            with pytest.raises(ValueError):
+                view.axis_interval_labels(1.0, rows=[0, 6])
+            with pytest.raises(ValueError):
+                view.axis_interval_labels(1.0, rows=[-1])
+
+    def test_shift_dimension_rejected(self):
+        backend = DenseBackend(np.zeros((4, 3)))
+        view = backend.view(np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            view.heaviest_cell_counts(1.0, np.zeros((1, 3)))
+
+    def test_offset_view_matches_translation(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(30, 3))
+        offset = np.array([1.5, -0.25, 3.0])
+        shifted = points + offset[None, :]
+        partition = ShiftedBoxPartition(dimension=3, width=0.9, rng=1)
+        reference = box_labels(shifted, partition.shifts, 0.9)
+        for backend in (DenseBackend(points),
+                        ShardedBackend(points, num_shards=3, num_workers=0)):
+            view = backend.view(offset=offset)
+            assert np.array_equal(
+                view.label_array(0.9, partition.shifts), reference
+            )

@@ -1,0 +1,186 @@
+"""Seeded release-parity regression tests.
+
+The repo's central invariant: the neighbor-backend choice is *pure
+performance* — at a fixed seed, every private release is bit-identical
+whether the distance/grid-hash queries run in the parent, through an
+in-process backend, or merged across shards.  These tests pin that contract
+for the end-to-end algorithms (``good_center`` on both projection paths,
+``good_radius``, ``one_cluster``) by comparing each named backend against
+the in-parent reference at fixed seeds; the low-level query parity behind it
+is covered property-style in ``test_parity_properties.py``.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.accounting.params import PrivacyParams
+from repro.core.config import GoodCenterConfig, OneClusterConfig
+from repro.core.good_center import good_center
+from repro.core.good_radius import good_radius
+from repro.core.one_cluster import one_cluster
+
+# The repro.core package rebinds the name ``good_center`` to the function, so
+# the module object (whose _REUSE_SEARCH_LABELS seam the reuse test flips)
+# must be fetched from sys.modules.
+good_center_module = sys.modules["repro.core.good_center"]
+
+
+@pytest.fixture(scope="module")
+def jl_cluster_points():
+    """A d=8 planted cluster used with a small ``jl_constant`` so GoodCenter
+    takes the non-identity (JL + rotated-axis) path."""
+    rng = np.random.default_rng(3)
+    dimension = 8
+    center = np.full(dimension, 0.5)
+    cluster = center + rng.normal(0, 0.015, size=(900, dimension))
+    noise = rng.uniform(0, 1, size=(300, dimension))
+    return np.vstack([cluster, noise])
+
+
+JL_CONFIG = GoodCenterConfig(jl_constant=0.3)
+LOOSE = PrivacyParams(8.0, 1e-5)
+GENEROUS = PrivacyParams(16.0, 1e-4)
+
+
+def assert_same_center_release(reference, other):
+    """Bitwise equality of two GoodCenterResults."""
+    assert other.found == reference.found
+    assert other.attempts == reference.attempts
+    assert other.projected_dimension == reference.projected_dimension
+    if reference.found:
+        assert np.array_equal(other.center, reference.center)
+        assert other.radius_bound == reference.radius_bound
+        assert other.captured_count == reference.captured_count
+    else:
+        assert other.center is None
+        assert other.radius_bound == float("inf")
+
+
+class TestGoodCenterReleaseParity:
+    def test_identity_path(self, medium_cluster_data, neighbor_backend):
+        points = medium_cluster_data.points
+        for seed in (0, 7):
+            reference = good_center(points, radius=0.05, target=400,
+                                    params=LOOSE, rng=seed)
+            assert reference.projected_dimension == points.shape[1]
+            result = good_center(points, radius=0.05, target=400,
+                                 params=LOOSE, rng=seed,
+                                 backend=neighbor_backend(points))
+            assert_same_center_release(reference, result)
+
+    def test_jl_path(self, jl_cluster_points, neighbor_backend):
+        points = jl_cluster_points
+        for seed in (1, 4):
+            reference = good_center(points, radius=0.1, target=700,
+                                    params=GENEROUS, config=JL_CONFIG,
+                                    rng=seed)
+            assert reference.projected_dimension < points.shape[1]
+            result = good_center(points, radius=0.1, target=700,
+                                 params=GENEROUS, config=JL_CONFIG, rng=seed,
+                                 backend=neighbor_backend(points))
+            assert_same_center_release(reference, result)
+
+    def test_partition_batch_size_is_invisible(self, jl_cluster_points):
+        """Releases are independent of the view batch size (the shift and
+        AboveThreshold-noise streams are split precisely so batched lookahead
+        cannot reorder any draw)."""
+        points = jl_cluster_points
+        reference = good_center(points, radius=0.1, target=700,
+                                params=GENEROUS, config=JL_CONFIG, rng=2)
+        for batch in (1, 3, 16):
+            config = GoodCenterConfig(jl_constant=0.3,
+                                      partition_batch_size=batch)
+            result = good_center(points, radius=0.1, target=700,
+                                 params=GENEROUS, config=config, rng=2,
+                                 backend="chunked")
+            assert_same_center_release(reference, result)
+
+
+class TestStep7LabelReuse:
+    def test_release_byte_identical_with_and_without_reuse(
+            self, medium_cluster_data, jl_cluster_points, monkeypatch):
+        """The step-7 fix: the in-parent search hands its winning attempt's
+        label array to the box choice instead of rehashing the projected
+        points.  Disabling the reuse (forcing the historical recompute) must
+        not move a byte of the release — on either projection path."""
+        cases = [
+            (medium_cluster_data.points, 0.05, 400, LOOSE, None),
+            (jl_cluster_points, 0.1, 700, GENEROUS, JL_CONFIG),
+        ]
+        for points, radius, target, params, config in cases:
+            with_reuse = good_center(points, radius=radius, target=target,
+                                     params=params, config=config, rng=7)
+            monkeypatch.setattr(good_center_module, "_REUSE_SEARCH_LABELS",
+                                False)
+            without_reuse = good_center(points, radius=radius, target=target,
+                                        params=params, config=config, rng=7)
+            monkeypatch.setattr(good_center_module, "_REUSE_SEARCH_LABELS",
+                                True)
+            assert_same_center_release(with_reuse, without_reuse)
+
+    def test_search_does_not_rehash_for_step_7(self, medium_cluster_data,
+                                               monkeypatch):
+        """label_array runs once per search attempt and never again: step 7
+        consumes the winning attempt's array."""
+        from repro.geometry.boxes import ShiftedBoxPartition
+
+        calls = []
+        original = ShiftedBoxPartition.label_array
+
+        def spy(self, points):
+            calls.append(self)
+            return original(self, points)
+
+        monkeypatch.setattr(ShiftedBoxPartition, "label_array", spy)
+        result = good_center(medium_cluster_data.points, radius=0.05,
+                             target=400, params=LOOSE, rng=7)
+        assert result.found
+        assert len(calls) == result.attempts
+
+
+class TestGoodRadiusReleaseParity:
+    def test_release_identical(self, small_cluster_data, loose_params,
+                               neighbor_backend):
+        points = small_cluster_data.points
+        reference = good_radius(points, 200, loose_params, rng=11,
+                                backend="dense")
+        result = good_radius(points, 200, loose_params, rng=11,
+                             backend=neighbor_backend(points))
+        assert result.radius == reference.radius
+        assert result.score == reference.score
+        assert result.zero_cluster == reference.zero_cluster
+
+
+class TestOneClusterReleaseParity:
+    def test_release_identical(self, small_cluster_data, neighbor_backend):
+        points = small_cluster_data.points
+        params = PrivacyParams(8.0, 1e-5)
+        reference = one_cluster(points, target=250, params=params, rng=4,
+                                backend="dense")
+        result = one_cluster(points, target=250, params=params, rng=4,
+                             backend=neighbor_backend(points))
+        assert result.found == reference.found
+        assert (result.radius_result.radius
+                == reference.radius_result.radius)
+        assert_same_center_release(reference.center_result,
+                                   result.center_result)
+        if reference.found:
+            assert np.array_equal(result.ball.center, reference.ball.center)
+            assert result.ball.radius == reference.ball.radius
+
+    def test_config_backend_selection_identical(self, small_cluster_data):
+        """Selecting the backend through OneClusterConfig releases the same
+        ball as the explicit backend= argument."""
+        points = small_cluster_data.points
+        params = PrivacyParams(8.0, 1e-5)
+        reference = one_cluster(points, target=250, params=params, rng=9,
+                                backend="chunked")
+        config = OneClusterConfig(neighbor_backend="chunked")
+        result = one_cluster(points, target=250, params=params, rng=9,
+                             config=config)
+        assert result.found == reference.found
+        if reference.found:
+            assert np.array_equal(result.ball.center, reference.ball.center)
+            assert result.ball.radius == reference.ball.radius

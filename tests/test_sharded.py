@@ -156,9 +156,11 @@ class TestBatchedCounts:
         assert np.array_equal(batched[1], backend.radius_counts(0.3))
 
 
+@pytest.mark.slow
 class TestProcessPool:
     """The multi-process path must agree with serial — same merge code, plus
-    shared-memory transport."""
+    shared-memory transport.  Marked slow (real worker pools): runs in the
+    dedicated ``-m slow`` CI job, not the tier-1 loop."""
 
     def test_pool_parity_and_lifecycle(self):
         points = DATASETS["random-2d"]
@@ -192,6 +194,53 @@ class TestProcessPool:
         with ShardedBackend(points, num_shards=4, num_workers=2) as backend:
             assert np.array_equal(
                 backend.heaviest_cell_counts(1.7, shifts), expected
+            )
+
+    def test_projected_view_pool(self):
+        """Non-identity views over a real pool: the matrix ships to the
+        workers, the projection is applied shard-side, and every grid hash
+        matches the in-parent reference bitwise."""
+        from repro.geometry.boxes import box_labels, interval_labels
+        from repro.geometry.jl import project_rows
+
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(200, 6))
+        matrix = rng.normal(size=(3, 6))
+        image = project_rows(points, matrix)
+        width = 0.8
+        shifts = rng.uniform(0.0, width, size=(5, 3))
+        reference_labels = box_labels(image, shifts[0], width)
+        expected_counts = np.array([
+            np.unique(box_labels(image, shift, width), axis=0,
+                      return_counts=True)[1].max()
+            for shift in shifts
+        ])
+        unique, first, counts = np.unique(reference_labels, axis=0,
+                                          return_index=True,
+                                          return_counts=True)
+        order = np.argsort(first, kind="stable")
+        chosen = unique[order][0]
+        expected_mask = np.all(reference_labels == chosen[None, :], axis=1)
+        rows = np.flatnonzero(expected_mask)
+        basis = rng.normal(size=(6, 6))
+        expected_axis = interval_labels(project_rows(points[rows], basis), 0.4)
+        with ShardedBackend(points, num_shards=3, num_workers=2) as backend:
+            view = backend.view(matrix)
+            assert np.array_equal(
+                view.heaviest_cell_counts(width, shifts), expected_counts
+            )
+            hist_labels, hist_counts, positions = view.cell_histogram(
+                width, shifts[0], return_inverse=True
+            )
+            assert np.array_equal(hist_labels, unique[order])
+            assert np.array_equal(hist_counts, counts[order])
+            assert np.array_equal(positions == 0, expected_mask)
+            assert np.array_equal(
+                view.label_mask(width, shifts[0], chosen), expected_mask
+            )
+            assert np.array_equal(
+                backend.view(basis).axis_interval_labels(0.4, rows=rows),
+                expected_axis,
             )
 
 
@@ -259,6 +308,7 @@ class TestStreamingProfile:
         dense = DenseBackend(points)
         assert dense.streaming_auto is False
 
+    @pytest.mark.slow
     def test_streaming_never_persists_the_statistic(self):
         n, target = 20000, 18000
         points = np.random.default_rng(17).uniform(size=(n, 2))
