@@ -244,6 +244,76 @@ def bench_good_center_jl(n: int, rng_seed: int, workers=None,
     return rows
 
 
+def bench_good_center_rotated(n: int, rng_seed: int, workers=None) -> list:
+    """The full rotated-stage release (steps 8-11): in-parent vs shard-side.
+
+    Times the complete ``good_center`` call on the JL + rotated-axis path —
+    the stage PR 4 moved behind the backend.  The *in-parent* flavour is the
+    no-backend reference: it materialises the selected set, rotates it, and
+    hands the coordinates to NoisyAVG.  The *shard-side* flavour runs the
+    same call through a sharded backend: the selected set travels as a label
+    predicate, the rotated frame is a shard-side view, and the parent only
+    merges per-axis histograms and ``(count, exact sum)`` partials — the
+    parent-process tracemalloc peak column is the point (in pool mode the
+    parent never holds the selected or rotated coordinates).  The two
+    releases are asserted bitwise identical, so the bench doubles as an
+    end-to-end parity check.
+    """
+    from repro.core.config import GoodCenterConfig
+    from repro.core.good_center import good_center
+
+    dimension = 16
+    target = n // 2
+    config = GoodCenterConfig(jl_constant=0.3)
+    data = planted_cluster(n=n, d=dimension, cluster_size=int(0.6 * n),
+                           cluster_radius=0.05,
+                           center=[0.5] * dimension, rng=rng_seed)
+    points = data.points
+    center_params = PrivacyParams(8.0, 1e-5)
+    rows = []
+
+    tracemalloc.start()
+    start = time.perf_counter()
+    reference = good_center(points, radius=0.05, target=target,
+                            params=center_params, config=config, rng=5)
+    inline_seconds = time.perf_counter() - start
+    _, inline_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert reference.found and reference.projected_dimension < dimension, (
+        "the bench case must take the JL + rotated-axis path and succeed"
+    )
+    rows.append({
+        "n": n, "d": dimension, "k": reference.projected_dimension,
+        "mode": "in-parent", "release_s": inline_seconds,
+        "parent_peak_mb": inline_peak / 1e6, "speedup": 1.0,
+    })
+
+    backend = make_backend("sharded", points, workers)
+    try:
+        backend.radius_counts(0.01)        # warm: pool + shared memory
+        tracemalloc.start()
+        start = time.perf_counter()
+        result = good_center(points, radius=0.05, target=target,
+                             params=center_params, config=config, rng=5,
+                             backend=backend)
+        shard_seconds = time.perf_counter() - start
+        _, shard_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    finally:
+        backend.close()
+    assert result.found and np.array_equal(result.center, reference.center), (
+        f"shard-side rotated stage disagrees with the in-parent release "
+        f"at n={n}"
+    )
+    rows.append({
+        "n": n, "d": dimension, "k": result.projected_dimension,
+        "mode": "shard-side", "release_s": shard_seconds,
+        "parent_peak_mb": shard_peak / 1e6,
+        "speedup": inline_seconds / shard_seconds,
+    })
+    return rows
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--sizes", type=int, nargs="+",
@@ -269,11 +339,35 @@ def main() -> None:
                         help="profile GoodCenter's JL-path partition search: "
                              "inline parent hashing vs the view-batched "
                              "sharded path (d=32, parity asserted)")
+    parser.add_argument("--good-center-rotated", action="store_true",
+                        help="profile the full rotated-stage release (steps "
+                             "8-11): in-parent vs shard-side masked "
+                             "aggregation, with the parent-process peak-"
+                             "memory column (d=16, release parity asserted)")
     parser.add_argument("--attempts", type=int, default=64,
                         help="partition-search attempts timed per mode in "
                              "--good-center-jl")
     parser.add_argument("--rng", type=int, default=0)
     args = parser.parse_args()
+
+    if args.good_center_rotated:
+        all_rows = []
+        for n in args.sizes:
+            print(f"profiling rotated-stage release at n={n}, d=16 ...",
+                  flush=True)
+            all_rows.extend(bench_good_center_rotated(n, args.rng,
+                                                      args.workers))
+        print()
+        print(format_table(all_rows, columns=[
+            "n", "d", "k", "mode", "release_s", "parent_peak_mb", "speedup",
+        ]))
+        print("\n(releases asserted bitwise identical between modes; "
+              "parent_peak_mb is parent-process tracemalloc over the whole "
+              "good_center call — in pool mode the shard-side row never "
+              "holds the selected set, its rotation, or any membership "
+              "array; with --workers 0 the serial fallback computes shard "
+              "partials in-parent one shard at a time)")
+        return
 
     if args.good_center_jl:
         all_rows = []

@@ -91,10 +91,15 @@ def k_cluster(points, k: int, params: PrivacyParams, target: Optional[int] = Non
     backend:
         Neighbor-backend selection forwarded to every iteration.  Pass a name
         or class (not an instance): the point set shrinks between iterations,
-        so each call must index its own remaining points.  (With
-        ``"sharded"`` this also means each iteration starts its own worker
-        pool; at the sizes where sharding pays off that start-up cost is
-        noise.)
+        so each call must index its own remaining points.  Each iteration's
+        :func:`~repro.core.one_cluster.one_cluster` call builds *and closes*
+        its own backend, so with ``"sharded"`` the worker pool and
+        shared-memory segment are released before the next iteration starts
+        — k iterations hold at most one pool at a time, never k.  (At the
+        sizes where sharding pays off the per-iteration pool start-up cost
+        is noise.)  To control the sharded worker count, select the backend
+        through ``config`` instead:
+        ``OneClusterConfig(neighbor_backend="sharded", neighbor_workers=2)``.
 
     Returns
     -------

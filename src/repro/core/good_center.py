@@ -46,6 +46,7 @@ from repro.accounting.ledger import PrivacyLedger
 from repro.accounting.params import PrivacyParams
 from repro.core.config import GoodCenterConfig
 from repro.core.types import GoodCenterResult
+from repro.geometry.balls import ball_membership
 from repro.geometry.boxes import (
     AxisIntervalPartition,
     ShiftedBoxPartition,
@@ -55,7 +56,7 @@ from repro.geometry.jl import JohnsonLindenstrauss
 from repro.geometry.rotation import project_onto_basis, random_orthonormal_basis
 from repro.mechanisms.above_threshold import AboveThreshold
 from repro.mechanisms.histogram import stable_histogram_choice_from_counts
-from repro.mechanisms.noisy_average import noisy_average
+from repro.mechanisms.noisy_average import noisy_average, noisy_average_from_stats
 from repro.neighbors import (
     BackendLike,
     first_occurrence_cells,
@@ -72,6 +73,18 @@ from repro.utils.validation import check_integer, check_points, check_positive, 
 #: off and asserts exactly that, guarding the reuse against ever feeding
 #: step 7 labels that belong to a different partition of the batch.
 _REUSE_SEARCH_LABELS = True
+
+#: Whether the backend path runs steps 8-11 shard-side: the selected set D
+#: travels as a label predicate (BoxSelection), the per-axis interval
+#: histograms and NoisyAVG's (count, exact sum) statistics arrive merged
+#: from the backend, and the parent never materialises the selected or
+#: rotated coordinates.  The merged statistics are *canonical* — exact
+#: fixed-point sums, first-occurrence-ordered histograms — so flipping the
+#: flag must not move a byte of any release; tests/test_release_parity.py
+#: disables it (forcing the historical in-parent rotated stage) and asserts
+#: exactly that, on both projection paths and including the NoisyAVG abstain
+#: branch.
+_SHARD_SIDE_ROTATED_STAGE = True
 
 
 def _failure(attempts: int, k: int) -> GoodCenterResult:
@@ -109,17 +122,24 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
     ledger:
         Optional privacy ledger.
     backend:
-        Optional neighbor-backend selection.  When given, the projected-space
-        grid hashing rides a :class:`~repro.neighbors.base.ProjectedView` of
-        the resolved backend — the partition search (on *both* the identity
-        and JL projection paths) and the step-7 box histogram, whose
-        per-point positions double as the membership mask.  The sharded
-        backend applies the projection shard-side over its shared-memory
-        block, so the parent never holds the projected image while searching.
-        Pure performance — the projection is row-decomposable, the grid
-        hashes are shared definitions, and the histogram cells are presented
-        in first-occurrence order, so the query sequence and every noise
-        draw, and hence the release distribution, are unchanged.
+        Optional neighbor-backend selection.  When given, *every* data-heavy
+        stage rides the resolved backend: the partition search and step-7
+        box histogram through a
+        :class:`~repro.neighbors.base.ProjectedView` (on both the identity
+        and JL projection paths), and steps 8-11 through the view's masked
+        aggregate queries — the selected set travels as a
+        :class:`~repro.neighbors.base.BoxSelection` label predicate, the
+        rotated frame is just another ``backend.view(basis)``, and NoisyAVG
+        consumes the merged ``(count, exact sum)`` statistics.  The sharded
+        backend evaluates all of it shard-side over its shared-memory block,
+        so the parent's peak allocation in steps 8-11 is ``O(shard + d)`` —
+        it never holds the projected image, the membership mask, or the
+        rotated selected coordinates.  Pure performance — the projection is
+        row-decomposable, the grid hashes and sphere mask are shared
+        definitions, histogram cells arrive in first-occurrence order, and
+        the aggregate sums are exact fixed-point (partition-independent), so
+        the query sequence and every noise draw, and hence the release
+        distribution, are unchanged.
 
     Returns
     -------
@@ -244,11 +264,22 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
     # every path, so the per-cell noise draws are bit-identical whether the
     # histogram was counted in-parent or merged across shards.
     # ------------------------------------------------------------------ #
+    # With a backend and the shard-side seam on, the selected set D is
+    # carried through steps 8-11 as a *label predicate* (BoxSelection) — the
+    # parent never materialises a membership mask, a row list, or the
+    # selected coordinates; it only merges the backends' (d,)-shaped
+    # aggregate partials.
+    shard_side = view is not None and _SHARD_SIDE_ROTATED_STAGE
     cell_positions = None
     if view is not None:
-        cell_keys, cell_counts, cell_positions = view.cell_histogram(
-            width, chosen_partition.shifts, return_inverse=True
-        )
+        if shard_side:
+            cell_keys, cell_counts = view.cell_histogram(
+                width, chosen_partition.shifts
+            )
+        else:
+            cell_keys, cell_counts, cell_positions = view.cell_histogram(
+                width, chosen_partition.shifts, return_inverse=True
+            )
     else:
         if chosen_labels is None or not _REUSE_SEARCH_LABELS:
             chosen_labels = chosen_partition.label_array(projected)
@@ -264,18 +295,29 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
     if not box_choice.found:
         return _failure(attempts, k)
     chosen_index = np.asarray(box_choice.key, dtype=np.int64)
-    if cell_positions is not None:
-        # The histogram's per-point positions already encode membership, so
-        # the view path needs no second hash pass (or sharded fan-out).
-        chosen_position = next(
-            slot for slot, (key, _) in enumerate(cells)
-            if key == box_choice.key
-        )
-        in_box = cell_positions == chosen_position
+    selection = None
+    selected = None
+    if shard_side:
+        selection = view.box_selection(width, chosen_partition.shifts,
+                                       chosen_index)
+        # The histogram already carries the exact occupancy of the chosen
+        # box — no membership pass needed for the emptiness guard.
+        selected_count = int(box_choice.true_count)
     else:
-        in_box = np.all(chosen_labels == chosen_index[None, :], axis=1)
-    selected = points[in_box]
-    if selected.shape[0] == 0:
+        if cell_positions is not None:
+            # The histogram's per-point positions already encode membership,
+            # so the view path needs no second hash pass (or sharded
+            # fan-out).
+            chosen_position = next(
+                slot for slot, (key, _) in enumerate(cells)
+                if key == box_choice.key
+            )
+            in_box = cell_positions == chosen_position
+        else:
+            in_box = np.all(chosen_labels == chosen_index[None, :], axis=1)
+        selected = points[in_box]
+        selected_count = int(selected.shape[0])
+    if selected_count == 0:
         return _failure(attempts, k)
     chosen_box = chosen_partition.box_for_label(box_choice.key)
     selected_diameter = config.selected_set_diameter(radius, k, identity_projection)
@@ -287,19 +329,18 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
         sphere_center = chosen_box.center
         sphere_radius = chosen_box.diameter / 2.0
         frame_points = selected
+        frame_view = view
         rotate_back = None
     else:
         # ---------------------------------------------------------------- #
-        # Steps 8-9: random rotation, per-axis heavy intervals.  All ``d``
-        # axis-label columns come from one vectorised pass over the rotated
-        # coordinates, which steps 10-11 (the captured count and NoisyAVG)
-        # need in the parent regardless — so there is nothing to gain from a
-        # backend round-trip here until those steps also move shard-side
-        # (the ProjectedView.axis_interval_labels building block exists for
-        # exactly that; see ROADMAP).
+        # Steps 8-9: random rotation, per-axis heavy intervals.  The rotated
+        # frame is just another linear image of the dataset, so with a
+        # backend it rides ``backend.view(basis)``: the per-axis interval
+        # histograms arrive merged in first-occurrence order (bit-identical
+        # noise draws) and the parent holds O(occupied intervals), never the
+        # rotated selected coordinates.
         # ---------------------------------------------------------------- #
         basis = random_orthonormal_basis(dimension, rng=basis_rng)
-        rotated = project_onto_basis(selected, basis)
         interval_length = config.rotated_interval_length(
             radius, k, dimension, n, beta, identity_projection
         )
@@ -310,15 +351,25 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
         axis_params = PrivacyParams(axis_epsilon, axis_delta)
         axis_rngs = spawn_generators(axis_rng, dimension)
 
-        axis_label_matrix = interval_labels(rotated, interval_length)
+        if shard_side:
+            frame_view = resolved.view(basis)
+            axis_histograms = frame_view.masked_axis_histograms(
+                selection, interval_length
+            )
+        else:
+            rotated = project_onto_basis(selected, basis)
+            axis_label_matrix = interval_labels(rotated, interval_length)
 
         lower_bounds = np.empty(dimension)
         upper_bounds = np.empty(dimension)
         for axis in range(dimension):
             partition = AxisIntervalPartition(width=interval_length)
-            axis_keys, axis_counts = first_occurrence_cells(
-                axis_label_matrix[:, axis]
-            )
+            if shard_side:
+                axis_keys, axis_counts = axis_histograms[axis]
+            else:
+                axis_keys, axis_counts = first_occurrence_cells(
+                    axis_label_matrix[:, axis]
+                )
             choice = stable_histogram_choice_from_counts(
                 list(zip(axis_keys.tolist(), axis_counts.tolist())),
                 axis_params, rng=axis_rngs[axis],
@@ -339,24 +390,40 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
         # -------------------------------------------------------------- #
         sphere_center = (lower_bounds + upper_bounds) / 2.0
         sphere_radius = config.bounding_sphere_radius(interval_length, dimension)
-        frame_points = rotated
+        if not shard_side:
+            frame_points = rotated
         rotate_back = basis
 
-    distances = np.linalg.norm(frame_points - sphere_center[None, :], axis=1)
-    captured = int(np.count_nonzero(distances <= sphere_radius))
-
     # ------------------------------------------------------------------ #
-    # Step 11: NoisyAVG of D' in the working frame, then map back if needed.
+    # Steps 10-11: captured count + NoisyAVG of D' in the working frame,
+    # then map back if needed.  The shard-side path hands NoisyAVG the
+    # merged (count, exact sum) statistics; the in-parent path hands it the
+    # raw frame points.  Both funnel into the same release core over the
+    # same ball_membership mask and the same exact column sums, so the
+    # releases (abstain branch included) are bit-for-bit identical.
     # ------------------------------------------------------------------ #
-    average = noisy_average(
-        frame_points,
-        diameter=2.0 * sphere_radius,
-        params=PrivacyParams(avg_epsilon, quarter_delta),
-        predicate=lambda pts: np.linalg.norm(pts - sphere_center[None, :], axis=1)
-        <= sphere_radius,
-        center=sphere_center,
-        rng=avg_rng,
-    )
+    avg_params = PrivacyParams(avg_epsilon, quarter_delta)
+    if shard_side:
+        stats = frame_view.masked_clipped_sum(selection, sphere_center,
+                                              sphere_radius)
+        captured = int(stats.count)
+        average = noisy_average_from_stats(
+            stats.count, stats.vector_sum, diameter=2.0 * sphere_radius,
+            params=avg_params, center=sphere_center, rng=avg_rng,
+        )
+    else:
+        captured = int(np.count_nonzero(
+            ball_membership(frame_points, sphere_center, sphere_radius)
+        ))
+        average = noisy_average(
+            frame_points,
+            diameter=2.0 * sphere_radius,
+            params=avg_params,
+            predicate=lambda pts: ball_membership(pts, sphere_center,
+                                                  sphere_radius),
+            center=sphere_center,
+            rng=avg_rng,
+        )
     if ledger is not None:
         ledger.record("noisy_average", PrivacyParams(avg_epsilon, quarter_delta),
                       note="GoodCenter final average")

@@ -62,6 +62,24 @@ class Ball:
         return Ball(center=self.center.copy(), radius=self.radius * factor)
 
 
+def ball_membership(points: np.ndarray, center: np.ndarray,
+                    radius: float) -> np.ndarray:
+    """Boolean mask of the points within ``radius`` of ``center``.
+
+    The *single definition* of sphere membership shared by GoodCenter's
+    step 10 (the captured count), NoisyAVG's selection predicate, and the
+    neighbor-backend masked clipped-sum query
+    (:meth:`repro.neighbors.base.ProjectedView.masked_clipped_sum`).  Each
+    row's norm is computed independently of which other rows are present, so
+    the mask is row-decomposable — a shard evaluating it over its own slice
+    reproduces the parent's mask bitwise, which is what lets the clipped sum
+    merge across shards without moving a byte of any release.
+    """
+    points = np.asarray(points, dtype=float)
+    center = np.asarray(center, dtype=float).reshape(-1)
+    return np.linalg.norm(points - center[None, :], axis=1) <= radius
+
+
 def pairwise_distances(points: np.ndarray) -> np.ndarray:
     """The full ``(n, n)`` Euclidean distance matrix.
 
@@ -187,6 +205,7 @@ def capped_average_score_profile(points: np.ndarray, radii: np.ndarray,
 
 __all__ = [
     "Ball",
+    "ball_membership",
     "pairwise_distances",
     "count_in_ball",
     "counts_around_points",

@@ -6,6 +6,17 @@ projection of any fixed point set of diameter ``D`` onto every rotated axis
 has spread only ``O(D * sqrt(log(dn/beta) / d))`` — this is what lets the
 per-axis interval choices produce a box of diameter ``~ sqrt(d) * (D/sqrt(d))
 = D`` instead of ``sqrt(d) * D``.
+
+The rotated frame is *not* a special coordinate system anywhere in the
+pipeline: it is just the linear image ``X B^T`` of the dataset under the
+basis matrix, so with a neighbor backend the whole rotated stage runs over
+``backend.view(basis)`` — shards apply the basis to their own rows through
+the row-decomposable :func:`~repro.geometry.jl.project_rows` (bitwise equal
+to slicing a parent-side rotation, see :func:`project_onto_basis`), answer
+the per-axis interval histograms and NoisyAVG's masked clipped sum locally,
+and only ``O(d)``-sized partials ever reach the parent.  Mapping a released
+rotated-frame vector back to the standard frame is a parent-side ``v @ B``
+(basis rows are the rotated axes).
 """
 
 from __future__ import annotations

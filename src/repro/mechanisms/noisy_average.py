@@ -12,6 +12,24 @@ GoodCenter's final step (Algorithm 2, step 11) calls this with the predicate
 "lies inside the bounding sphere ``C``", whose diameter is known
 *deterministically*, which is exactly why the algorithm intersects ``D`` with
 ``C`` before averaging.
+
+The selected-set average is computed through the exact fixed-point kernel of
+:mod:`repro.utils.exactsum` (correctly-rounded column sums, then one float
+division by the count).  That makes the mean *partition-independent*: a
+neighbor backend that computed the selected count and the selected sum
+shard-side can hand the merged statistics to
+:func:`noisy_average_from_stats` and reproduce this module's release — the
+same noise draws from the same stream, applied to bitwise the same average —
+without the caller ever materialising the selected vectors in one place.
+
+Adopting the exact mean was a deliberate one-time change of the released
+*values* at a fixed seed: numpy's ``.mean(axis=0)`` row-fold rounds
+differently in the final ulps, and no float accumulation order can be
+reproduced from per-shard partials at every shard count — only the
+correctly-rounded exact sum is canonical.  The switch moves every release
+(here and in the sample-and-aggregate consumers) by at most the last ulp of
+the pre-noise average, far below the Gaussian noise floor; all parity
+guarantees are forward-looking from this definition.
 """
 
 from __future__ import annotations
@@ -23,8 +41,9 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.accounting.params import PrivacyParams
+from repro.utils.exactsum import exact_column_sums
 from repro.utils.rng import RngLike, as_generator
-from repro.utils.validation import check_points, check_positive
+from repro.utils.validation import check_integer, check_points, check_positive
 
 
 @dataclass(frozen=True)
@@ -44,6 +63,46 @@ class NoisyAverageResult:
     def found(self) -> bool:
         """Whether an average was actually released."""
         return self.value is not None
+
+
+def _release(true_count: int, selected_sum: np.ndarray, diameter: float,
+             params: PrivacyParams, center: np.ndarray,
+             generator) -> NoisyAverageResult:
+    """The shared release core of Algorithm 5.
+
+    Consumes the *sufficient statistics* of the selected set — its size and
+    the correctly-rounded sum of the re-centred selected vectors — and draws
+    the mechanism's two noise variates in the fixed order (Laplace count
+    first, then the Gaussian vector).  Both public entry points funnel here,
+    so the raw-points and merged-partials paths release bitwise-identical
+    values at a fixed seed.
+    """
+    dimension = center.shape[0]
+    # Step 1 of Algorithm 5: pessimistic noisy count.
+    noisy_count = (
+        true_count
+        + generator.laplace(0.0, 2.0 / params.epsilon)
+        - (2.0 / params.epsilon) * math.log(2.0 / params.delta)
+    )
+    if noisy_count <= 0:
+        return NoisyAverageResult(value=None, noisy_count=float(noisy_count),
+                                  true_count=true_count, sigma=float("inf"))
+
+    # Step 2: Gaussian noise scaled to the pessimistic count.
+    sigma = (8.0 * diameter / (params.epsilon * noisy_count)) * math.sqrt(
+        2.0 * math.log(8.0 / params.delta)
+    )
+    if true_count > 0:
+        average = selected_sum / true_count
+    else:
+        # No selected point: the exact average of the empty (re-centred) set
+        # is defined as the origin so that the mechanism is total; the noisy
+        # count being positive here is a low-probability event.
+        average = np.zeros(dimension)
+    noise = generator.normal(0.0, sigma, size=dimension)
+    value = center + average + noise
+    return NoisyAverageResult(value=value, noisy_count=float(noisy_count),
+                              true_count=true_count, sigma=float(sigma))
 
 
 def noisy_average(points: np.ndarray, diameter: float, params: PrivacyParams,
@@ -93,37 +152,64 @@ def noisy_average(points: np.ndarray, diameter: float, params: PrivacyParams,
             )
     selected = points[mask]
     true_count = int(selected.shape[0])
-
-    # Step 1 of Algorithm 5: pessimistic noisy count.
-    noisy_count = (
-        true_count
-        + generator.laplace(0.0, 2.0 / params.epsilon)
-        - (2.0 / params.epsilon) * math.log(2.0 / params.delta)
-    )
-    if noisy_count <= 0:
-        return NoisyAverageResult(value=None, noisy_count=float(noisy_count),
-                                  true_count=true_count, sigma=float("inf"))
-
-    # Step 2: Gaussian noise scaled to the pessimistic count.
-    sigma = (8.0 * diameter / (params.epsilon * noisy_count)) * math.sqrt(
-        2.0 * math.log(8.0 / params.delta)
-    )
     if center is None:
         center = np.zeros(dimension)
     else:
         center = np.asarray(center, dtype=float).reshape(dimension)
+    # The re-centring is elementwise (row-decomposable) and the column sums
+    # are exact, so these statistics are bitwise the ones a sharded backend
+    # merges — see noisy_average_from_stats.
+    selected_sum = exact_column_sums(selected - center[None, :])
+    return _release(true_count, selected_sum, diameter, params, center,
+                    generator)
 
-    if true_count > 0:
-        average = (selected - center).mean(axis=0)
-    else:
-        # No selected point: the exact average of the empty (re-centred) set
-        # is defined as the origin so that the mechanism is total; the noisy
-        # count being positive here is a low-probability event.
-        average = np.zeros(dimension)
-    noise = generator.normal(0.0, sigma, size=dimension)
-    value = center + average + noise
-    return NoisyAverageResult(value=value, noisy_count=float(noisy_count),
-                              true_count=true_count, sigma=float(sigma))
+
+def noisy_average_from_stats(true_count: int, selected_sum, diameter: float,
+                             params: PrivacyParams, center,
+                             rng: RngLike = None) -> NoisyAverageResult:
+    """Release the noisy average from precomputed selected-set statistics.
+
+    The partials-consuming entry point behind :func:`noisy_average`, for
+    callers whose backend already aggregated the selected set shard-side
+    (GoodCenter steps 10–11 via
+    :meth:`repro.neighbors.base.ProjectedView.masked_clipped_sum`).  Given
+    the statistics :func:`noisy_average` would have computed itself — the
+    number of selected vectors and the correctly-rounded exact sum of
+    ``selected - center`` — it draws the same two noise variates in the same
+    order from the same stream, so the release (found/abstain included) is
+    bit-for-bit the raw-points path's.
+
+    Parameters
+    ----------
+    true_count:
+        The exact number of selected vectors ``m``.
+    selected_sum:
+        ``(d,)`` correctly-rounded sum of the re-centred selected vectors
+        (the merge of the backends' exact fixed-point partials).
+    diameter:
+        Data-independent diameter bound ``Delta_g`` of the selected set.
+    params:
+        Privacy budget; requires ``delta > 0``.
+    center:
+        The ``(d,)`` reference point the sum was re-centred around
+        (Observation A.2).
+    rng:
+        Seed or generator; pass the stream :func:`noisy_average` would have
+        received.
+    """
+    check_positive(diameter, "diameter")
+    if params.delta <= 0:
+        raise ValueError("NoisyAVG requires delta > 0")
+    true_count = check_integer(true_count, "true_count", minimum=0)
+    center = np.asarray(center, dtype=float).reshape(-1)
+    selected_sum = np.asarray(selected_sum, dtype=float).reshape(-1)
+    if selected_sum.shape != center.shape:
+        raise ValueError(
+            f"selected_sum has shape {selected_sum.shape}, expected "
+            f"{center.shape}"
+        )
+    return _release(true_count, selected_sum, diameter, params, center,
+                    as_generator(rng))
 
 
 def noisy_average_error_bound(diameter: float, count: int, dimension: int,
@@ -145,4 +231,9 @@ def noisy_average_error_bound(diameter: float, count: int, dimension: int,
     return sigma * (math.sqrt(dimension) + math.sqrt(2.0 * math.log(1.0 / beta)))
 
 
-__all__ = ["NoisyAverageResult", "noisy_average", "noisy_average_error_bound"]
+__all__ = [
+    "NoisyAverageResult",
+    "noisy_average",
+    "noisy_average_error_bound",
+    "noisy_average_from_stats",
+]

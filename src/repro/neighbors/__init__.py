@@ -19,14 +19,19 @@ interchangeable strategies:
   one of the strategies above, per-shard results merged exactly; the right
   choice for very large ``n`` on multi-core machines.
 
-Beyond distance queries, every backend also answers *grid-hash* queries over
-an arbitrary linear image of its points through
+Beyond distance queries, every backend also answers *grid-hash* and *masked
+aggregate* queries over an arbitrary linear image of its points through
 :meth:`~repro.neighbors.base.NeighborBackend.view` (a
 :class:`~repro.neighbors.base.ProjectedView`): heaviest-cell counts, box
-histograms, membership masks, and per-axis interval labels — the questions
-GoodCenter asks about its JL-projected and rotated points.  The sharded
-strategy applies the projection shard-side, so the parent never materialises
-the image.
+histograms, membership masks, per-axis interval labels, and — over a
+selection (a :class:`~repro.neighbors.base.BoxSelection` label predicate, a
+boolean mask, or a row multiset) — counts, exact fixed-point sums, per-axis
+extremes, first-occurrence-ordered interval histograms, and NoisyAVG's
+clipped ``(count, sum)`` statistics.  These are the questions GoodCenter
+asks about its JL-projected and rotated points (Algorithm 2, steps 3-11).
+The sharded strategy applies the projection *and* the aggregation
+shard-side, so the parent never materialises the image, the selected set,
+or any membership array.
 
 All strategies return *identical* integer counts, bit-identical ``L(r, S)``
 values, and identical view grid hashes (see
@@ -47,6 +52,8 @@ import numpy as np
 from repro.neighbors.base import (
     STREAMING_MIN_POINTS,
     STREAMING_TARGET_FRACTION,
+    BoxSelection,
+    ClippedSum,
     NeighborBackend,
     ProjectedView,
     first_occurrence_cells,
@@ -184,6 +191,8 @@ __all__ = [
     "STREAMING_TARGET_FRACTION",
     "TREE_MAX_DIMENSION",
     "HAVE_SCIPY_TREE",
+    "BoxSelection",
+    "ClippedSum",
     "NeighborBackend",
     "ProjectedView",
     "first_occurrence_cells",

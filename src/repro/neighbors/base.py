@@ -37,7 +37,8 @@ every target, which keeps outlier screening (``t ~ 0.9 n``) off the
 from __future__ import annotations
 
 import abc
-from typing import ClassVar, Optional, Tuple
+from dataclasses import dataclass
+from typing import ClassVar, List, Optional, Tuple
 
 import numpy as np
 
@@ -46,6 +47,11 @@ from repro.neighbors._distance import (
     capped_count_histograms,
     row_block_size,
     squared_radius_keys,
+)
+from repro.utils.exactsum import (
+    exact_column_sums,
+    fixed_point_column_sums,
+    fixed_point_to_float,
 )
 from repro.utils.validation import check_integer, check_points
 
@@ -164,16 +170,66 @@ def first_occurrence_cells(labels: np.ndarray):
     return unique[order], counts[order]
 
 
+@dataclass(frozen=True)
+class BoxSelection:
+    """A label predicate: "the points whose image under *this view* falls in
+    box ``label`` of the shifted partition ``(width, shifts)``".
+
+    GoodCenter's selected set ``D`` (Algorithm 2, step 7) is exactly such a
+    predicate over the partition-search view.  Passing the *predicate* — not
+    a membership mask or a row list — to the masked aggregate queries lets
+    the sharded backend ship it to the workers, each of which re-derives its
+    own shard's membership from its (cached) search image: the selection
+    never materialises as an ``O(n)`` array anywhere, parent included.
+
+    Build one with :meth:`ProjectedView.box_selection`; it stays valid for
+    masked queries on *any* view of the same backend (GoodCenter evaluates it
+    against the rotated-frame view).
+    """
+
+    view: "ProjectedView"
+    width: float
+    shifts: np.ndarray
+    label: np.ndarray
+
+    def membership(self) -> np.ndarray:
+        """The ``(n,)`` boolean membership mask (materialised; the sharded
+        masked queries never call this in the parent)."""
+        return self.view.label_mask(self.width, self.shifts, self.label)
+
+
+@dataclass(frozen=True)
+class ClippedSum:
+    """Result of :meth:`ProjectedView.masked_clipped_sum`.
+
+    Attributes
+    ----------
+    count:
+        How many selected image points fell inside the clip ball.
+    vector_sum:
+        ``(k,)`` correctly-rounded exact sum of ``y - center`` over those
+        points — the statistics :func:`repro.mechanisms.noisy_average.noisy_average_from_stats`
+        consumes.
+    """
+
+    count: int
+    vector_sum: np.ndarray
+
+
 class ProjectedView:
     """A queryable linear image ``Y = X A^T (+ b)`` of a backend's points.
 
     GoodCenter never asks distance questions about the *projected* points —
-    only grid-hash questions: "how heavy is the heaviest box of this shifted
+    only grid-hash questions ("how heavy is the heaviest box of this shifted
     partition?", "what is the box histogram?", "which points fall in this
-    box?", and "what are the per-axis interval labels?".  A view answers
-    those questions over an arbitrary linear image (a JL projection, a random
-    rotation, or the identity) of the points a backend indexes, without the
-    caller ever materialising the image itself.
+    box?", "what are the per-axis interval labels?") and, since the steps
+    8-11 migration, *masked aggregate* questions over a selected subset
+    ("what are the per-axis interval histograms of the selected points?",
+    "how many selected points fall in this sphere, and what is the exact sum
+    of their offsets from its centre?").  A view answers all of them over an
+    arbitrary linear image (a JL projection, a random rotation, or the
+    identity) of the points a backend indexes, without the caller ever
+    materialising the image itself.
 
     This base implementation serves the in-process strategies (dense /
     chunked / tree): the image is computed once with the row-decomposable
@@ -419,6 +475,148 @@ class ProjectedView:
         from repro.geometry.boxes import interval_labels
 
         return interval_labels(self.image(rows), float(width), float(offset))
+
+    # ------------------------------------------------------------------ #
+    # Masked aggregation (GoodCenter steps 8-11)
+    # ------------------------------------------------------------------ #
+    def box_selection(self, width: float, shifts, label) -> BoxSelection:
+        """A :class:`BoxSelection` predicate over *this* view's image.
+
+        Parameters
+        ----------
+        width, shifts:
+            The shifted partition (as in :meth:`label_mask`).
+        label:
+            The ``(k,)`` integer box label selecting the points.
+        """
+        shifts = self._check_shifts(shifts, batched=False)
+        label = np.asarray(label, dtype=np.int64).reshape(-1)
+        if label.shape[0] != self.image_dimension:
+            raise ValueError(
+                f"label has {label.shape[0]} axes, expected "
+                f"{self.image_dimension}"
+            )
+        return BoxSelection(view=self, width=float(width), shifts=shifts,
+                            label=label)
+
+    def _selection_rows(self, selection) -> np.ndarray:
+        """Normalise a masked-query selection to ascending global rows.
+
+        A selection is a :class:`BoxSelection` (evaluated against the view it
+        was built from — it must share this view's backend), an ``(n,)``
+        boolean membership mask, or an integer row array (sorted here;
+        duplicate rows keep multiset semantics).  Ascending dataset-row order
+        is part of the query contract — it is the order the per-axis
+        histograms' first-occurrence cells are defined over.
+        """
+        if isinstance(selection, BoxSelection):
+            if selection.view.backend is not self.backend:
+                raise ValueError(
+                    "the BoxSelection was built over a different backend's "
+                    "view; selections only transfer between views of the "
+                    "same backend"
+                )
+            return np.flatnonzero(selection.membership())
+        array = np.asarray(selection)
+        if array.dtype == np.bool_:
+            if array.shape != (self.num_points,):
+                raise ValueError(
+                    f"boolean selection must have shape ({self.num_points},), "
+                    f"got {array.shape}"
+                )
+            return np.flatnonzero(array)
+        return np.sort(self._check_rows(array), kind="stable")
+
+    def masked_count(self, selection) -> int:
+        """How many points the selection covers (duplicates counted)."""
+        return int(self._selection_rows(selection).shape[0])
+
+    def masked_sum(self, selection) -> np.ndarray:
+        """The ``(k,)`` exact (correctly-rounded) sum of the selected image
+        points.
+
+        Computed through :func:`repro.utils.exactsum.exact_column_sums`, so
+        the value is independent of how the rows are partitioned — every
+        backend, at every shard count, returns bitwise the same vector.
+        An empty selection sums to zeros.
+        """
+        rows = self._selection_rows(selection)
+        return exact_column_sums(self.image(rows))
+
+    def masked_minmax(self, selection) -> np.ndarray:
+        """Per-axis extremes of the selected image points.
+
+        Returns a ``(2, k)`` array — row 0 the minima, row 1 the maxima.
+        An empty selection returns the merge identities ``+inf`` / ``-inf``.
+        Min/max are exact and associative, so the sharded merge is trivially
+        bitwise.
+        """
+        rows = self._selection_rows(selection)
+        k = self.image_dimension
+        if rows.shape[0] == 0:
+            return np.vstack([np.full(k, np.inf), np.full(k, -np.inf)])
+        image = self.image(rows)
+        return np.vstack([image.min(axis=0), image.max(axis=0)])
+
+    def masked_clipped_partial(self, selection, center,
+                               clip_radius: float) -> Tuple[int, List[int]]:
+        """The mergeable (fixed-point) form of :meth:`masked_clipped_sum`:
+        ``(count, per-column exact integer sums)``.  Partials from disjoint
+        row ranges merge by integer addition; the sharded view uses this as
+        its wire format."""
+        from repro.geometry.balls import ball_membership
+
+        center = np.asarray(center, dtype=float).reshape(-1)
+        if center.shape[0] != self.image_dimension:
+            raise ValueError(
+                f"center has dimension {center.shape[0]}, expected "
+                f"{self.image_dimension}"
+            )
+        rows = self._selection_rows(selection)
+        image = self.image(rows)
+        inside = ball_membership(image, center, float(clip_radius))
+        deltas = image[inside] - center[None, :]
+        return int(np.count_nonzero(inside)), fixed_point_column_sums(deltas)
+
+    def masked_clipped_sum(self, selection, center,
+                           clip_radius: float) -> ClippedSum:
+        """NoisyAVG's sufficient statistics, computed over the image.
+
+        Restricts the selection to the image points within ``clip_radius`` of
+        ``center`` (the bounding sphere ``C`` of Algorithm 2, step 10 — the
+        shared :func:`repro.geometry.balls.ball_membership` definition) and
+        returns their count with the exact sum of ``y - center`` — everything
+        step 11's noisy average needs, in ``O(k)`` parent memory.  The one
+        conversion of the fixed-point partial happens here, on the total.
+        """
+        count, totals = self.masked_clipped_partial(selection, center,
+                                                    clip_radius)
+        vector_sum = np.asarray(
+            [fixed_point_to_float(total) for total in totals], dtype=float
+        )
+        return ClippedSum(count=count, vector_sum=vector_sum)
+
+    def masked_axis_histograms(self, selection, width: float,
+                               offset: float = 0.0) -> list:
+        """Per-axis interval histograms of the selected image points.
+
+        For each of the ``k`` image axes, returns ``(labels, counts)`` over
+        the occupied intervals of the axis partition ``floor((y - offset) /
+        width)``, ordered by first occurrence in ascending dataset-row order
+        — exactly the cell order GoodCenter's per-axis stability-histogram
+        draws (step 9) are defined over, so a caller feeding these histograms
+        to :func:`repro.mechanisms.histogram.stable_histogram_choice_from_counts`
+        reproduces the label-sequence path's noise bit for bit.  The result
+        is ``O(occupied intervals)`` per axis; the sharded view additionally
+        never materialises the ``(q, k)`` label matrix in the parent (this
+        in-process base labels its own rows transiently).
+        """
+        from repro.geometry.boxes import interval_labels
+
+        rows = self._selection_rows(selection)
+        labels = interval_labels(self.image(rows), float(width), float(offset))
+        return [first_occurrence_cells(labels[:, axis])
+                for axis in range(self.image_dimension)]
 
 
 class NeighborBackend(abc.ABC):
@@ -703,6 +901,8 @@ class NeighborBackend(abc.ABC):
 
 
 __all__ = [
+    "BoxSelection",
+    "ClippedSum",
     "NeighborBackend",
     "ProjectedView",
     "STREAMING_MIN_POINTS",

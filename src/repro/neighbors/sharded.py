@@ -49,7 +49,16 @@ from repro.neighbors._distance import (
     row_block_size,
     truncated_squared_cross,
 )
-from repro.neighbors.base import NeighborBackend, ProjectedView
+from repro.neighbors.base import (
+    BoxSelection,
+    NeighborBackend,
+    ProjectedView,
+)
+from repro.utils.exactsum import (
+    fixed_point_column_sums,
+    fixed_point_to_float,
+    merge_fixed_point,
+)
 from repro.utils.validation import check_integer, check_points
 
 #: Monotonic ids for projected views: workers cache each shard's projected
@@ -202,15 +211,20 @@ class _ShardSet:
                             matrix: Optional[np.ndarray],
                             offset: Optional[np.ndarray], width: float,
                             shifts: np.ndarray,
-                            ) -> List[Tuple[np.ndarray, np.ndarray]]:
+                            top_k: Optional[int] = None,
+                            ) -> List[Tuple[np.ndarray, np.ndarray, int]]:
         """Per-attempt partial box histograms of this shard's imaged points.
 
         For each row of ``shifts`` (one shifted partition attempt) the
         shard's image is hashed through the same
         :func:`repro.geometry.boxes.box_labels` grid hash as
         ``ShiftedBoxPartition`` — the shared definition is what makes the
-        labels bit-identical to a single-process pass — and the unique
-        labels are returned with their counts for the parent to merge.
+        labels bit-identical to a single-process pass — and the shard's
+        ``top_k`` heaviest labels are returned with their counts plus a
+        *cap*: the ``top_k``-th largest count, an upper bound on every cell
+        the truncation dropped.  ``top_k=None`` (or a shard with at most
+        ``top_k`` occupied cells) returns everything with cap 0 — the merge
+        is then exact without a recount.
         """
         from repro.geometry.boxes import box_labels
 
@@ -219,7 +233,42 @@ class _ShardSet:
         for shift in np.atleast_2d(np.asarray(shifts, dtype=float)):
             labels = box_labels(image, shift, width)
             unique, counts = np.unique(labels, axis=0, return_counts=True)
-            results.append((unique, counts))
+            cap = 0
+            if top_k is not None and counts.shape[0] > top_k:
+                keep = np.argpartition(counts,
+                                       counts.shape[0] - top_k)[-top_k:]
+                cap = int(counts[keep].min())
+                unique, counts = unique[keep], counts[keep]
+            results.append((unique, counts, cap))
+        return results
+
+    def view_count_labels(self, shard: int, token: Optional[int],
+                          matrix: Optional[np.ndarray],
+                          offset: Optional[np.ndarray], width: float,
+                          shifts: np.ndarray,
+                          labels_per_attempt: Sequence[np.ndarray],
+                          ) -> List[np.ndarray]:
+        """Exact occupancy of specific boxes, one array per attempt.
+
+        The recount half of the bounded heaviest-cell merge: for attempt
+        ``j`` (partition ``(width, shifts[j])``) returns this shard's exact
+        count of every queried label in ``labels_per_attempt[j]`` (0 for
+        boxes the shard does not occupy).
+        """
+        from repro.geometry.boxes import box_labels
+
+        image = self.view_image(shard, token, matrix, offset)
+        results = []
+        for shift, queries in zip(np.atleast_2d(np.asarray(shifts, float)),
+                                  labels_per_attempt):
+            labels = box_labels(image, shift, width)
+            unique, counts = np.unique(labels, axis=0, return_counts=True)
+            combined = np.concatenate([unique, queries], axis=0)
+            _, inverse = np.unique(combined, axis=0, return_inverse=True)
+            inverse = np.reshape(inverse, -1)
+            table = np.zeros(int(inverse.max()) + 1, dtype=np.int64)
+            table[inverse[:unique.shape[0]]] = counts
+            results.append(table[inverse[unique.shape[0]:]])
         return results
 
     def view_cell_histogram(self, shard: int, token: Optional[int],
@@ -281,6 +330,98 @@ class _ShardSet:
 
         image = self.view_image(shard, token, matrix, offset, rows=rows)
         return interval_labels(image, width, axis_offset)
+
+    # ------------------------------------------------------------------ #
+    # Masked aggregation sub-queries (GoodCenter steps 8-11)
+    # ------------------------------------------------------------------ #
+    def _selection_rows_local(self, shard: int, spec: tuple) -> np.ndarray:
+        """Shard-local ascending rows of a masked-query selection.
+
+        ``spec`` is the wire form of a selection: ``("rows", local_rows)``
+        ships a pre-sliced shard-local index array, while ``("box",
+        sel_token, sel_matrix, sel_offset, width, shifts, label)`` ships the
+        *label predicate* — the shard re-derives its own membership from its
+        (token-cached) image of the selecting view, so the mask never exists
+        as an array in the parent.
+        """
+        if spec[0] == "rows":
+            return np.asarray(spec[1], dtype=np.int64)
+        _, token, matrix, offset, width, shifts, label = spec
+        mask = self.view_label_mask(shard, token, matrix, offset, width,
+                                    shifts, label)
+        return np.flatnonzero(mask)
+
+    def view_masked_count(self, shard: int, spec: tuple) -> int:
+        """This shard's selected-row count."""
+        return int(self._selection_rows_local(shard, spec).shape[0])
+
+    def view_masked_sum(self, shard: int, token: Optional[int],
+                        matrix: Optional[np.ndarray],
+                        offset: Optional[np.ndarray],
+                        spec: tuple) -> Tuple[int, list]:
+        """``(count, exact fixed-point column sums)`` of this shard's
+        selected image rows — the mergeable partial behind
+        :meth:`ProjectedView.masked_sum` (integer addition across shards is
+        exact and associative, so the merged total is independent of the
+        shard topology)."""
+        rows = self._selection_rows_local(shard, spec)
+        image = self.view_image(shard, token, matrix, offset, rows=rows)
+        return int(rows.shape[0]), fixed_point_column_sums(image)
+
+    def view_masked_minmax(self, shard: int, token: Optional[int],
+                           matrix: Optional[np.ndarray],
+                           offset: Optional[np.ndarray],
+                           spec: tuple) -> Optional[np.ndarray]:
+        """Per-axis ``(2, k)`` extremes of this shard's selected image rows
+        (``None`` when the shard selects nothing — the merge identity)."""
+        rows = self._selection_rows_local(shard, spec)
+        if rows.shape[0] == 0:
+            return None
+        image = self.view_image(shard, token, matrix, offset, rows=rows)
+        return np.vstack([image.min(axis=0), image.max(axis=0)])
+
+    def view_masked_clipped(self, shard: int, token: Optional[int],
+                            matrix: Optional[np.ndarray],
+                            offset: Optional[np.ndarray], spec: tuple,
+                            center: np.ndarray,
+                            clip_radius: float) -> Tuple[int, list]:
+        """NoisyAVG partial: count and exact fixed-point sums of
+        ``y - center`` over this shard's selected rows inside the clip ball
+        (the shared :func:`repro.geometry.balls.ball_membership` mask, so the
+        shard-side selection is bitwise the parent's)."""
+        from repro.geometry.balls import ball_membership
+
+        rows = self._selection_rows_local(shard, spec)
+        image = self.view_image(shard, token, matrix, offset, rows=rows)
+        inside = ball_membership(image, center, clip_radius)
+        deltas = image[inside] - np.asarray(center, dtype=float)[None, :]
+        return int(np.count_nonzero(inside)), fixed_point_column_sums(deltas)
+
+    def view_masked_axis_hists(self, shard: int, token: Optional[int],
+                               matrix: Optional[np.ndarray],
+                               offset: Optional[np.ndarray], spec: tuple,
+                               width: float, axis_offset: float,
+                               ) -> Tuple[int, list]:
+        """Per-axis interval histograms of this shard's selected image rows.
+
+        Returns ``(local selected count, [(labels, counts, first local
+        position) per axis])``; the first-occurrence positions are indices
+        into the shard's own selected-row sequence, which the parent offsets
+        by the preceding shards' selected counts to restore the global
+        first-occurrence cell order the histogram noise draws depend on.
+        """
+        from repro.geometry.boxes import interval_labels
+
+        rows = self._selection_rows_local(shard, spec)
+        image = self.view_image(shard, token, matrix, offset, rows=rows)
+        labels = interval_labels(image, width, axis_offset)
+        per_axis = []
+        for axis in range(labels.shape[1]):
+            unique, first, counts = np.unique(labels[:, axis],
+                                              return_index=True,
+                                              return_counts=True)
+            per_axis.append((unique, counts, first))
+        return int(rows.shape[0]), per_axis
 
 
 # --------------------------------------------------------------------------- #
@@ -350,6 +491,14 @@ class ShardedBackend(NeighborBackend):
 
     #: Partition-search attempts batched per heaviest-cell request.
     HEAVIEST_CELL_BATCH: ClassVar[int] = 8
+
+    #: How many cells each shard returns per heaviest-cell attempt before
+    #: the bounded merge falls back to an exact recount of the candidate
+    #: union (see :meth:`_ShardedView.heaviest_cell_counts`).  Bounds the
+    #: parent's merge scratch at ``O(shards * top_k)`` instead of the total
+    #: number of occupied boxes.  ``None`` disables the truncation (full
+    #: per-shard histograms, the pre-bounded behaviour).
+    HEAVIEST_CELL_TOP_K: ClassVar[Optional[int]] = 64
 
     def __init__(self, points, num_shards: Optional[int] = None,
                  num_workers: Optional[int] = None,
@@ -707,17 +856,73 @@ class _ShardedView(ProjectedView):
         return (self._token, self._matrix, self._offset)
 
     def heaviest_cell_counts(self, width: float, shifts) -> np.ndarray:
+        """Heaviest-box occupancy per attempt, via the *bounded* merge.
+
+        Each shard returns only its ``HEAVIEST_CELL_TOP_K`` heaviest cells
+        plus a cap (its ``top_k``-th largest count, bounding every truncated
+        cell), so the parent's scratch is ``O(shards * top_k)`` per attempt
+        instead of the total occupied-box count.  The merge is then made
+        exact again by *recounting*: the union of the shards' candidate
+        cells is shipped back and every shard reports its exact occupancy of
+        each candidate, giving exact global counts for all candidates.  A
+        candidate max ``>= sum of caps`` certifies that no truncated cell
+        can beat it — the returned maxima (and hence AboveThreshold's query
+        stream) are bitwise the full merge's.  Uncertified attempts retry
+        with ``top_k`` escalated 4x (reaching the untruncated merge in the
+        worst case), so termination is unconditional.
+        """
         shifts = self._check_shifts(shifts, batched=True)
-        parts = self._backend._map_shards(
-            "view_heaviest_cells", (*self._view_args(), float(width), shifts)
-        )
-        maxima = np.empty(shifts.shape[0], dtype=np.int64)
-        for attempt in range(shifts.shape[0]):
-            labels = np.concatenate([part[attempt][0] for part in parts])
-            counts = np.concatenate([part[attempt][1] for part in parts])
-            _, inverse = np.unique(labels, axis=0, return_inverse=True)
-            merged = np.bincount(np.reshape(inverse, -1), weights=counts)
-            maxima[attempt] = int(merged.max())
+        maxima = np.zeros(shifts.shape[0], dtype=np.int64)
+        top_k = getattr(self._backend, "HEAVIEST_CELL_TOP_K", None)
+        top_k = int(top_k) if top_k else None
+        unresolved = np.arange(shifts.shape[0])
+        while unresolved.size:
+            parts = self._backend._map_shards(
+                "view_heaviest_cells",
+                (*self._view_args(), float(width), shifts[unresolved], top_k),
+            )
+            recount_slots = []
+            candidates = []
+            bounds = []
+            for slot, attempt in enumerate(unresolved):
+                caps = [int(part[slot][2]) for part in parts]
+                bound = sum(caps)
+                labels = np.concatenate([part[slot][0] for part in parts],
+                                        axis=0)
+                if bound == 0:
+                    # No shard truncated: the per-shard counts are complete
+                    # and the summed merge is already exact.
+                    counts = np.concatenate([part[slot][1] for part in parts])
+                    _, inverse = np.unique(labels, axis=0,
+                                           return_inverse=True)
+                    merged = np.bincount(np.reshape(inverse, -1),
+                                         weights=counts)
+                    maxima[attempt] = int(merged.max())
+                    continue
+                recount_slots.append(slot)
+                candidates.append(np.unique(labels, axis=0))
+                bounds.append(bound)
+            still = []
+            if recount_slots:
+                slots = np.asarray(recount_slots)
+                exact_parts = self._backend._map_shards(
+                    "view_count_labels",
+                    (*self._view_args(), float(width),
+                     shifts[unresolved[slots]], candidates),
+                )
+                for position, slot in enumerate(recount_slots):
+                    exact = np.sum([part[position] for part in exact_parts],
+                                   axis=0, dtype=np.int64)
+                    best = int(exact.max())
+                    attempt = int(unresolved[slot])
+                    if best >= bounds[position]:
+                        maxima[attempt] = best
+                    else:
+                        still.append(attempt)
+            unresolved = np.asarray(still, dtype=np.int64)
+            if unresolved.size:
+                top_k = (None if top_k is None or 4 * top_k >= self.num_points
+                         else 4 * top_k)
         return maxima
 
     def label_array(self, width: float, shifts) -> np.ndarray:
@@ -801,6 +1006,130 @@ class _ShardedView(ProjectedView):
         result = np.empty_like(stacked)
         result[order] = stacked
         return result
+
+    # ------------------------------------------------------------------ #
+    # Masked aggregation (fan-out partials, exact merges)
+    # ------------------------------------------------------------------ #
+    def _selection_specs(self, selection) -> List[tuple]:
+        """Per-shard wire specs of a masked-query selection.
+
+        A :class:`~repro.neighbors.base.BoxSelection` ships as its *label
+        predicate* — ``(selecting view's cache token / matrix / offset,
+        width, shifts, label)``, identical for every shard; each worker
+        re-derives its own membership from its cached image of the selecting
+        view, so no ``O(n)`` mask or row list ever crosses the wire (or
+        exists in the parent).  Row/mask selections are normalised to
+        ascending global rows and sliced so each shard receives only its own
+        (shard-local) segment.
+        """
+        if isinstance(selection, BoxSelection):
+            view = selection.view
+            if view.backend is not self.backend:
+                raise ValueError(
+                    "the BoxSelection was built over a different backend's "
+                    "view; selections only transfer between views of the "
+                    "same backend"
+                )
+            token = view._token if isinstance(view, _ShardedView) else None
+            spec = ("box", token, view.matrix, view.offset,
+                    float(selection.width), selection.shifts, selection.label)
+            return [spec] * self._backend.num_shards
+        array = np.asarray(selection)
+        if array.dtype == np.bool_:
+            if array.shape != (self.num_points,):
+                raise ValueError(
+                    f"boolean selection must have shape ({self.num_points},),"
+                    f" got {array.shape}"
+                )
+            rows = np.flatnonzero(array)
+        else:
+            rows = np.sort(self._check_rows(array), kind="stable")
+        specs = []
+        for low, high in self._backend.shard_bounds:
+            lo = np.searchsorted(rows, low, side="left")
+            hi = np.searchsorted(rows, high, side="left")
+            specs.append(("rows", rows[lo:hi] - low))
+        return specs
+
+    def _masked_parts(self, method: str, selection, *args) -> list:
+        specs = self._selection_specs(selection)
+        return self._backend._map_shards_per(
+            method,
+            [(*self._view_args(), spec, *args) for spec in specs],
+        )
+
+    def masked_count(self, selection) -> int:
+        specs = self._selection_specs(selection)
+        parts = self._backend._map_shards_per(
+            "view_masked_count", [(spec,) for spec in specs]
+        )
+        return int(sum(parts))
+
+    def masked_sum(self, selection) -> np.ndarray:
+        parts = self._masked_parts("view_masked_sum", selection)
+        totals = merge_fixed_point([part[1] for part in parts])
+        return np.asarray([fixed_point_to_float(total) for total in totals],
+                          dtype=float)
+
+    def masked_minmax(self, selection) -> np.ndarray:
+        parts = self._masked_parts("view_masked_minmax", selection)
+        k = self.image_dimension
+        merged = np.vstack([np.full(k, np.inf), np.full(k, -np.inf)])
+        for part in parts:
+            if part is None:
+                continue
+            merged[0] = np.minimum(merged[0], part[0])
+            merged[1] = np.maximum(merged[1], part[1])
+        return merged
+
+    def masked_clipped_partial(self, selection, center,
+                               clip_radius: float) -> Tuple[int, List[int]]:
+        center = np.asarray(center, dtype=float).reshape(-1)
+        if center.shape[0] != self.image_dimension:
+            raise ValueError(
+                f"center has dimension {center.shape[0]}, expected "
+                f"{self.image_dimension}"
+            )
+        parts = self._masked_parts("view_masked_clipped", selection, center,
+                                   float(clip_radius))
+        count = int(sum(part[0] for part in parts))
+        return count, merge_fixed_point([part[1] for part in parts])
+
+    def masked_axis_histograms(self, selection, width: float,
+                               offset: float = 0.0) -> list:
+        """Per-axis histograms with the global first-occurrence cell order
+        restored from the shards' local first positions: shard ``s``'s
+        positions are offset by the selected-row counts of shards
+        ``0..s-1`` (the shards partition the ascending selected sequence),
+        then the per-axis 1-d merges follow :meth:`cell_histogram`'s
+        min-first / stable-argsort recipe."""
+        parts = self._masked_parts("view_masked_axis_hists", selection,
+                                   float(width), float(offset))
+        k = self.image_dimension
+        merged = []
+        for axis in range(k):
+            all_labels = []
+            all_counts = []
+            all_firsts = []
+            position_offset = 0
+            for local_count, per_axis in parts:
+                labels, counts, firsts = per_axis[axis]
+                all_labels.append(labels)
+                all_counts.append(counts)
+                all_firsts.append(firsts + position_offset)
+                position_offset += int(local_count)
+            labels = np.concatenate(all_labels)
+            counts = np.concatenate(all_counts)
+            firsts = np.concatenate(all_firsts)
+            unique, group = np.unique(labels, return_inverse=True)
+            summed = np.bincount(group, weights=counts,
+                                 minlength=unique.shape[0]).astype(np.int64)
+            first = np.full(unique.shape[0], np.iinfo(np.int64).max,
+                            dtype=np.int64)
+            np.minimum.at(first, group, firsts)
+            order = np.argsort(first, kind="stable")
+            merged.append((unique[order], summed[order]))
+        return merged
 
 
 __all__ = ["ShardedBackend"]

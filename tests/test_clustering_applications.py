@@ -6,6 +6,7 @@ import pytest
 from repro.accounting.params import PrivacyParams
 from repro.clustering.k_cluster import k_cluster
 from repro.clustering.outliers import outlier_ball
+from repro.core.config import OneClusterConfig
 from repro.datasets.synthetic import clustered_with_outliers, gaussian_blobs
 
 
@@ -42,6 +43,79 @@ class TestKCluster:
         result = k_cluster(points, k=2, params=PrivacyParams(8.0, 1e-5), rng=7)
         assert result.num_found == len(result.balls)
         assert len(result.results) >= result.num_found
+
+
+class TestKClusterBackends:
+    """End-to-end k-clustering across the neighbor backends.
+
+    k_cluster takes backend *selections* (names / classes / config), not
+    instances — the point set shrinks between iterations — so the
+    ``neighbor_backend`` fixture's name is mapped onto the matching
+    selection style: the sharded strategy goes through
+    ``OneClusterConfig(neighbor_backend=..., neighbor_workers=...)``, which
+    is also the only way to pin its worker count.
+    """
+
+    @staticmethod
+    def _run(points, name, *, workers=0, rng=9):
+        params = PrivacyParams(10.0, 1e-5)
+        if name == "sharded":
+            config = OneClusterConfig(neighbor_backend="sharded",
+                                      neighbor_workers=workers)
+            return k_cluster(points, k=2, params=params, rng=rng,
+                             config=config)
+        backend = None if name == "reference" else name
+        return k_cluster(points, k=2, params=params, rng=rng, backend=backend)
+
+    def test_release_identical_across_backends(self, neighbor_backend):
+        points, _, _ = gaussian_blobs(n=500, d=2, k=2, spread=0.02, rng=6)
+        reference = self._run(points, "reference")
+        result = self._run(points, neighbor_backend.backend_name)
+        assert result.num_found == reference.num_found
+        assert result.covered_fraction == reference.covered_fraction
+        for ball, expected in zip(result.balls, reference.balls):
+            assert np.array_equal(ball.center, expected.center)
+            assert ball.radius == expected.radius
+
+    def test_iterations_close_their_backends(self, monkeypatch):
+        """Each iteration's internally built backend is closed before
+        k_cluster returns (the sharded pool / shared-memory lifecycle gap
+        this test originally exposed: cleanup used to ride on GC)."""
+        from repro.neighbors.sharded import ShardedBackend
+
+        built = []
+        closed = []
+        original_init = ShardedBackend.__init__
+        original_close = ShardedBackend.close
+
+        def spy_init(self, *args, **kwargs):
+            built.append(self)
+            return original_init(self, *args, **kwargs)
+
+        def spy_close(self):
+            if self not in closed:
+                closed.append(self)
+            return original_close(self)
+
+        monkeypatch.setattr(ShardedBackend, "__init__", spy_init)
+        monkeypatch.setattr(ShardedBackend, "close", spy_close)
+        points, _, _ = gaussian_blobs(n=400, d=2, k=2, spread=0.02, rng=8)
+        self._run(points, "sharded", workers=0)
+        assert built, "the sharded backend was never selected"
+        assert set(id(b) for b in built) <= set(id(c) for c in closed)
+
+    @pytest.mark.slow
+    def test_two_worker_pool_release_identical(self):
+        """A real 2-process pool behind k_cluster: bitwise the serial
+        release, pools torn down between iterations."""
+        points, _, _ = gaussian_blobs(n=500, d=2, k=2, spread=0.02, rng=6)
+        serial = self._run(points, "sharded", workers=0)
+        pooled = self._run(points, "sharded", workers=2)
+        assert pooled.num_found == serial.num_found
+        assert pooled.covered_fraction == serial.covered_fraction
+        for ball, expected in zip(pooled.balls, serial.balls):
+            assert np.array_equal(ball.center, expected.center)
+            assert ball.radius == expected.radius
 
 
 class TestOutlierScreen:

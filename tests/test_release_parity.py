@@ -140,6 +140,64 @@ class TestStep7LabelReuse:
         assert len(calls) == result.attempts
 
 
+class TestRotatedStageMigration:
+    """The steps 8-11 migration seam: with a backend, the rotated stage runs
+    shard-side (label-predicate selection, merged per-axis histograms,
+    NoisyAVG from merged exact-sum statistics).  Disabling the seam forces
+    the historical in-parent rotated stage; because the merged statistics
+    are canonical (exact fixed-point sums, first-occurrence histogram
+    order), flipping the flag must not move a byte of any release — on
+    either projection path, on every backend."""
+
+    def test_release_byte_identical_with_and_without_shard_side(
+            self, medium_cluster_data, jl_cluster_points, neighbor_backend,
+            monkeypatch):
+        cases = [
+            (medium_cluster_data.points, 0.05, 400, LOOSE, None),
+            (jl_cluster_points, 0.1, 700, GENEROUS, JL_CONFIG),
+        ]
+        for points, radius, target, params, config in cases:
+            backend = neighbor_backend(points)
+            shard_side = good_center(points, radius=radius, target=target,
+                                     params=params, config=config, rng=7,
+                                     backend=backend)
+            monkeypatch.setattr(good_center_module,
+                                "_SHARD_SIDE_ROTATED_STAGE", False)
+            in_parent = good_center(points, radius=radius, target=target,
+                                    params=params, config=config, rng=7,
+                                    backend=backend)
+            monkeypatch.setattr(good_center_module,
+                                "_SHARD_SIDE_ROTATED_STAGE", True)
+            assert_same_center_release(in_parent, shard_side)
+
+    def test_noisy_avg_abstain_branch_parity(self, jl_cluster_points,
+                                             neighbor_backend, monkeypatch):
+        """Starving NoisyAVG's budget slice makes its pessimistic count go
+        non-positive, so GoodCenter reaches step 11 and abstains.  The
+        abstain decision depends on the merged selected count and the
+        Laplace draw — both must match the in-parent path bit for bit, on
+        both seam settings."""
+        starved = GoodCenterConfig(jl_constant=0.3,
+                                   budget_split=(0.4, 0.4, 0.15, 0.001))
+        points = jl_cluster_points
+        reference = good_center(points, radius=0.1, target=700,
+                                params=GENEROUS, config=starved, rng=4)
+        assert not reference.found
+        # Sanity: only the starved NoisyAVG slice makes this seed fail.
+        control = good_center(points, radius=0.1, target=700, params=GENEROUS,
+                              config=JL_CONFIG, rng=4)
+        assert control.found
+        for shard_side in (True, False):
+            monkeypatch.setattr(good_center_module,
+                                "_SHARD_SIDE_ROTATED_STAGE", shard_side)
+            result = good_center(points, radius=0.1, target=700,
+                                 params=GENEROUS, config=starved, rng=4,
+                                 backend=neighbor_backend(points))
+            assert_same_center_release(reference, result)
+        monkeypatch.setattr(good_center_module, "_SHARD_SIDE_ROTATED_STAGE",
+                            True)
+
+
 class TestGoodRadiusReleaseParity:
     def test_release_identical(self, small_cluster_data, loose_params,
                                neighbor_backend):

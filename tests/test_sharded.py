@@ -243,6 +243,52 @@ class TestProcessPool:
                 expected_axis,
             )
 
+    def test_masked_aggregates_pool(self):
+        """Masked aggregate queries over a real pool: the BoxSelection label
+        predicate ships to the workers, each shard re-derives its own
+        membership and returns exact fixed-point partials, and the merged
+        statistics match the in-parent dense reference bitwise."""
+        from repro.geometry.balls import ball_membership
+        from repro.geometry.boxes import box_labels
+        from repro.geometry.jl import project_rows
+
+        rng = np.random.default_rng(6)
+        points = rng.normal(size=(200, 6))
+        matrix = rng.normal(size=(3, 6))
+        basis = rng.normal(size=(6, 6))
+        width = 0.9
+        shifts = rng.uniform(0.0, width, size=3)
+        labels = box_labels(project_rows(points, matrix), shifts, width)
+        unique, counts = np.unique(labels, axis=0, return_counts=True)
+        chosen = unique[int(np.argmax(counts))]
+        rows = np.flatnonzero(np.all(labels == chosen[None, :], axis=1))
+        rotated = project_rows(points, basis)
+        center = rotated[rows].mean(axis=0)
+        radius = 1.5
+
+        dense_view = DenseBackend(points).view(basis)
+        reference_sum = dense_view.masked_sum(rows)
+        inside = ball_membership(rotated[rows], center, radius)
+        with ShardedBackend(points, num_shards=3, num_workers=2) as backend:
+            selection = backend.view(matrix).box_selection(width, shifts,
+                                                           chosen)
+            view = backend.view(basis)
+            assert view.masked_count(selection) == rows.shape[0]
+            assert np.array_equal(view.masked_sum(selection), reference_sum)
+            assert np.array_equal(view.masked_minmax(selection),
+                                  dense_view.masked_minmax(rows))
+            clipped = view.masked_clipped_sum(selection, center, radius)
+            assert clipped.count == int(np.count_nonzero(inside))
+            dense_clipped = dense_view.masked_clipped_sum(rows, center,
+                                                          radius)
+            assert np.array_equal(clipped.vector_sum,
+                                  dense_clipped.vector_sum)
+            hists = view.masked_axis_histograms(selection, 0.4)
+            dense_hists = dense_view.masked_axis_histograms(rows, 0.4)
+            for (got_l, got_c), (exp_l, exp_c) in zip(hists, dense_hists):
+                assert np.array_equal(got_l, exp_l)
+                assert np.array_equal(got_c, exp_c)
+
 
 class TestHeaviestCells:
     @pytest.mark.parametrize("name", ["random-2d", "duplicates", "identical"])

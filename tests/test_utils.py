@@ -1,11 +1,20 @@
-"""Tests for repro.utils: iterated logs, RNG plumbing, validation."""
+"""Tests for repro.utils: iterated logs, RNG plumbing, validation, exact sums."""
 
 import math
+from fractions import Fraction
 
 import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.utils.exactsum import (
+    SCALE_BITS,
+    exact_column_sums,
+    fixed_point_column_sums,
+    fixed_point_sum,
+    fixed_point_to_float,
+    merge_fixed_point,
+)
 from repro.utils.iterated_log import log_star, log_star_factor, tower
 from repro.utils.rng import as_generator, permuted, random_unit_vector, spawn_generators
 from repro.utils.validation import (
@@ -15,6 +24,69 @@ from repro.utils.validation import (
     check_positive,
     check_probability,
 )
+
+
+class TestExactSum:
+    """The fixed-point kernel is checked against an independent oracle:
+    ``fractions.Fraction`` arithmetic over the exact binary values."""
+
+    def test_matches_fraction_arithmetic(self):
+        rng = np.random.default_rng(0)
+        for trial in range(20):
+            values = rng.normal(size=int(rng.integers(0, 200)))
+            values *= 10.0 ** rng.integers(-200, 200)
+            total = fixed_point_sum(values)
+            exact = sum((Fraction(float(v)) for v in values), Fraction(0))
+            assert Fraction(total, 1 << SCALE_BITS) == exact
+            assert fixed_point_to_float(total) == float(exact)
+
+    def test_partition_independent(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=137) * 1e120
+        values[::7] = 5e-324          # subnormals mixed with huge values
+        total = fixed_point_sum(values)
+        for pieces in (2, 3, 7, 137):
+            bounds = np.linspace(0, values.size, pieces + 1).astype(int)
+            partials = [fixed_point_sum(values[low:high])
+                        for low, high in zip(bounds, bounds[1:])]
+            assert sum(partials) == total
+
+    def test_catastrophic_cancellation_is_exact(self):
+        # Plain float summation loses the 1.0 entirely; the exact kernel
+        # must not.
+        values = np.array([1e300, 1.0, -1e300])
+        assert fixed_point_to_float(fixed_point_sum(values)) == 1.0
+
+    def test_empty_and_zero(self):
+        assert fixed_point_sum(np.empty(0)) == 0
+        assert fixed_point_sum(np.zeros(5)) == 0
+        assert fixed_point_to_float(0) == 0.0
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_point_sum(np.array([1.0, np.inf]))
+        with pytest.raises(ValueError):
+            fixed_point_sum(np.array([np.nan]))
+
+    def test_column_sums_and_merge(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.normal(size=(60, 3))
+        totals = fixed_point_column_sums(matrix)
+        merged = merge_fixed_point([
+            fixed_point_column_sums(matrix[:17]),
+            fixed_point_column_sums(matrix[17:44]),
+            fixed_point_column_sums(matrix[44:]),
+        ])
+        assert merged == totals
+        floats = exact_column_sums(matrix)
+        assert np.array_equal(
+            floats,
+            np.asarray([fixed_point_to_float(t) for t in totals]),
+        )
+        with pytest.raises(ValueError):
+            fixed_point_column_sums(np.zeros(4))
+        with pytest.raises(ValueError):
+            merge_fixed_point([[1, 2], [3]])
 
 
 class TestLogStar:
