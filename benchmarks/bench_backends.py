@@ -130,6 +130,8 @@ def bench_large_target(n: int, rng_seed: int, workers=None) -> list:
 
     Reports wall-clock seconds and tracemalloc peak MB; the streaming walk
     must stay far below the ``8 n t`` bytes the persisted statistic costs.
+    Ends with the sorted-slab reuse regression check (see
+    :func:`assert_streaming_slab_reuse`).
     """
     target = int(0.9 * n)
     data = planted_cluster(n=n, d=DIMENSION, cluster_size=target,
@@ -156,7 +158,56 @@ def bench_large_target(n: int, rng_seed: int, workers=None) -> list:
                 "persisted_mb": 8 * n * min(target, n) / 1e6,
                 "score_at_max": float(scores[-1]),
             })
+    assert_streaming_slab_reuse(points, target)
     return rows
+
+
+def assert_streaming_slab_reuse(points: np.ndarray, target: int,
+                                grid_size: int = 1024) -> None:
+    """Regression guard: the streaming walk sorts each distance slab once.
+
+    The streaming ``L(r, S)`` evaluation processes the radius grid in sweeps
+    sized to one memory budget; within a sweep every ``(block, n)`` distance
+    slab is computed and sorted exactly once, then binary-searched for every
+    radius.  Before the sweep refactor a grid this large (``grid_size``
+    radii at ``cap = t``) was split into multiple chunks, each re-running —
+    and re-sorting — the full blocked pass.  Counting the distance-block
+    calls of one streaming evaluation pins the reuse: exactly one pass over
+    the query rows (``ceil(n / block)`` block computations), regardless of
+    the grid size.
+    """
+    import repro.neighbors._distance as _distance
+    from repro.neighbors._distance import row_block_size
+
+    n = points.shape[0]
+    radii = np.linspace(0.0, 1.2, grid_size)
+    backend = BACKENDS["chunked"](points)
+    calls = []
+    original = _distance.squared_distance_block
+
+    def counting(queries, data):
+        calls.append(queries.shape[0])
+        return original(queries, data)
+
+    _distance.squared_distance_block = counting
+    try:
+        streamed = backend.capped_average_scores(radii, target,
+                                                 streaming=True)
+    finally:
+        _distance.squared_distance_block = original
+    block = row_block_size(n, points.shape[1])
+    expected_passes = -(-n // block)               # ceil: one full pass
+    assert len(calls) == expected_passes, (
+        f"streaming walk ran {len(calls)} distance-block computations for "
+        f"{grid_size} radii, expected one full pass ({expected_passes}); "
+        "the sorted-slab reuse regressed"
+    )
+    persisted = backend.capped_average_scores(radii, target, streaming=False)
+    assert np.array_equal(streamed, persisted), (
+        "slab-reuse streaming scores diverged from the persisted statistic"
+    )
+    print(f"  slab reuse ok: {grid_size} radii in {len(calls)} block passes "
+          f"(one sort per block), streaming == persisted bitwise")
 
 
 def bench_good_center_jl(n: int, rng_seed: int, workers=None,
@@ -245,22 +296,34 @@ def bench_good_center_jl(n: int, rng_seed: int, workers=None,
 
 
 def bench_good_center_rotated(n: int, rng_seed: int, workers=None) -> list:
-    """The full rotated-stage release (steps 8-11): in-parent vs shard-side.
+    """The full rotated-stage release (steps 8-11): in-parent vs shard-side,
+    fused query plans vs the per-query fan-outs.
 
     Times the complete ``good_center`` call on the JL + rotated-axis path —
-    the stage PR 4 moved behind the backend.  The *in-parent* flavour is the
-    no-backend reference: it materialises the selected set, rotates it, and
-    hands the coordinates to NoisyAVG.  The *shard-side* flavour runs the
-    same call through a sharded backend: the selected set travels as a label
-    predicate, the rotated frame is a shard-side view, and the parent only
-    merges per-axis histograms and ``(count, exact sum)`` partials — the
-    parent-process tracemalloc peak column is the point (in pool mode the
-    parent never holds the selected or rotated coordinates).  The two
-    releases are asserted bitwise identical, so the bench doubles as an
-    end-to-end parity check.
+    the stage PR 4 moved behind the backend and PR 5 bundled into fused
+    query plans.  The *in-parent* flavour is the no-backend reference: it
+    materialises the selected set, rotates it, and hands the coordinates to
+    NoisyAVG.  The *shard-side* flavours run the same call through a sharded
+    backend: the selected set travels as a label predicate, the rotated
+    frame is a shard-side view, and the parent only merges per-axis
+    histograms and ``(count, exact sum)`` partials — the parent-process
+    tracemalloc peak column is the point (in pool mode the parent never
+    holds the selected or rotated coordinates).  The *fused* flavour bundles
+    each stage into one :class:`~repro.neighbors.QueryPlan` (the
+    ``round_trips`` column counts the backend's collective fan-outs — one
+    per stage); *unfused* flips the ``_FUSED_QUERY_PLANS`` seam back to the
+    PR 4 per-query fan-outs.  All releases are asserted bitwise identical,
+    so the bench doubles as an end-to-end parity check of both seams.
     """
+    import sys
+
     from repro.core.config import GoodCenterConfig
     from repro.core.good_center import good_center
+
+    # The repro.core package rebinds the name ``good_center`` to the
+    # function, so the module (whose _FUSED_QUERY_PLANS seam the unfused
+    # flavour flips) must come from sys.modules.
+    good_center_module = sys.modules["repro.core.good_center"]
 
     dimension = 16
     target = n // 2
@@ -285,32 +348,41 @@ def bench_good_center_rotated(n: int, rng_seed: int, workers=None) -> list:
     rows.append({
         "n": n, "d": dimension, "k": reference.projected_dimension,
         "mode": "in-parent", "release_s": inline_seconds,
-        "parent_peak_mb": inline_peak / 1e6, "speedup": 1.0,
+        "parent_peak_mb": inline_peak / 1e6, "round_trips": float("nan"),
+        "speedup": 1.0,
     })
 
-    backend = make_backend("sharded", points, workers)
-    try:
-        backend.radius_counts(0.01)        # warm: pool + shared memory
-        tracemalloc.start()
-        start = time.perf_counter()
-        result = good_center(points, radius=0.05, target=target,
-                             params=center_params, config=config, rng=5,
-                             backend=backend)
-        shard_seconds = time.perf_counter() - start
-        _, shard_peak = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
-    finally:
-        backend.close()
-    assert result.found and np.array_equal(result.center, reference.center), (
-        f"shard-side rotated stage disagrees with the in-parent release "
-        f"at n={n}"
-    )
-    rows.append({
-        "n": n, "d": dimension, "k": result.projected_dimension,
-        "mode": "shard-side", "release_s": shard_seconds,
-        "parent_peak_mb": shard_peak / 1e6,
-        "speedup": inline_seconds / shard_seconds,
-    })
+    for fused in (True, False):
+        good_center_module._FUSED_QUERY_PLANS = fused
+        backend = make_backend("sharded", points, workers)
+        try:
+            backend.radius_counts(0.01)        # warm: pool + shared memory
+            warm_fanouts = backend.pool_stats()["fanouts"]
+            tracemalloc.start()
+            start = time.perf_counter()
+            result = good_center(points, radius=0.05, target=target,
+                                 params=center_params, config=config, rng=5,
+                                 backend=backend)
+            shard_seconds = time.perf_counter() - start
+            _, shard_peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            round_trips = backend.pool_stats()["fanouts"] - warm_fanouts
+        finally:
+            backend.close()
+            good_center_module._FUSED_QUERY_PLANS = True
+        assert result.found and np.array_equal(result.center,
+                                               reference.center), (
+            f"shard-side rotated stage (fused={fused}) disagrees with the "
+            f"in-parent release at n={n}"
+        )
+        rows.append({
+            "n": n, "d": dimension, "k": result.projected_dimension,
+            "mode": "shard-side/fused" if fused else "shard-side/unfused",
+            "release_s": shard_seconds,
+            "parent_peak_mb": shard_peak / 1e6,
+            "round_trips": round_trips,
+            "speedup": inline_seconds / shard_seconds,
+        })
     return rows
 
 
@@ -359,14 +431,18 @@ def main() -> None:
                                                       args.workers))
         print()
         print(format_table(all_rows, columns=[
-            "n", "d", "k", "mode", "release_s", "parent_peak_mb", "speedup",
+            "n", "d", "k", "mode", "release_s", "parent_peak_mb",
+            "round_trips", "speedup",
         ]))
-        print("\n(releases asserted bitwise identical between modes; "
-              "parent_peak_mb is parent-process tracemalloc over the whole "
-              "good_center call — in pool mode the shard-side row never "
-              "holds the selected set, its rotation, or any membership "
-              "array; with --workers 0 the serial fallback computes shard "
-              "partials in-parent one shard at a time)")
+        print("\n(releases asserted bitwise identical between all modes; "
+              "round_trips counts the backend's collective fan-outs over "
+              "the whole call — the fused row bundles each GoodCenter stage "
+              "into one QueryPlan, the unfused row replays the PR 4 "
+              "per-query fan-outs; parent_peak_mb is parent-process "
+              "tracemalloc — in pool mode the shard-side rows never hold "
+              "the selected set, its rotation, or any membership array; "
+              "with --workers 0 the serial fallback computes shard partials "
+              "in-parent one shard at a time)")
         return
 
     if args.good_center_jl:

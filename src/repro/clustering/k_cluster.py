@@ -27,7 +27,12 @@ from repro.core.one_cluster import one_cluster
 from repro.core.types import OneClusterResult
 from repro.geometry.balls import Ball
 from repro.geometry.grid import GridDomain
-from repro.neighbors import BackendLike, NeighborBackend
+from repro.neighbors import (
+    BackendLike,
+    NeighborBackend,
+    QueryPlan,
+    resolve_backend,
+)
 from repro.utils.rng import RngLike, spawn_generators
 from repro.utils.validation import check_integer, check_points, check_probability
 
@@ -46,11 +51,21 @@ class KClusterResult:
         Non-private diagnostic: the fraction of the *original* points covered
         by the union of the released balls (computed against the coverage
         radius used during the run).
+    ball_coverages:
+        Non-private diagnostic, populated only when a ``backend`` selection
+        was supplied: for each released ball, how many of the *original*
+        points lie within it, counted behind the backend (exact squared-space
+        counts).  The counting plans are *submitted asynchronously* as each
+        ball is released and merged only after the loop — later iterations'
+        draws never depend on them, so on a pooled sharded backend they
+        overlap the subsequent private runs.  ``None`` when no backend was
+        selected.
     """
 
     balls: List[Ball]
     results: List[OneClusterResult]
     covered_fraction: float
+    ball_coverages: Optional[List[int]] = None
 
     @property
     def num_found(self) -> int:
@@ -97,8 +112,11 @@ def k_cluster(points, k: int, params: PrivacyParams, target: Optional[int] = Non
         shared-memory segment are released before the next iteration starts
         — k iterations hold at most one pool at a time, never k.  (At the
         sizes where sharding pays off the per-iteration pool start-up cost
-        is noise.)  To control the sharded worker count, select the backend
-        through ``config`` instead:
+        is noise.)  When a selection is given, one additional long-lived
+        backend over the *original* points serves the per-ball coverage
+        diagnostics (``ball_coverages``), whose counting plans are submitted
+        asynchronously and overlap the later iterations.  To control the
+        sharded worker count, select the backend through ``config`` instead:
         ``OneClusterConfig(neighbor_backend="sharded", neighbor_workers=2)``.
 
     Returns
@@ -128,29 +146,61 @@ def k_cluster(points, k: int, params: PrivacyParams, target: Optional[int] = Non
     covered_mask = np.zeros(n, dtype=bool)
     original = points
 
-    for round_index in range(k):
-        if remaining.shape[0] < target:
-            break
-        result = one_cluster(remaining, target, per_round, beta=beta,
-                             domain=domain, config=config,
-                             rng=rngs[round_index], ledger=ledger,
-                             backend=backend)
-        results.append(result)
-        if not result.found:
-            continue
-        # Use the measured radius (post-processing of the released centre and
-        # the remaining public iteration state) to decide coverage.
-        measured = result.effective_radius(remaining, target=target)
-        radius = measured * coverage_slack
-        ball = Ball(center=result.ball.center, radius=radius)
-        balls.append(ball)
-        keep = ~ball.contains(remaining)
-        remaining = remaining[keep]
-        covered_mask |= ball.contains(original)
+    # Per-ball coverage diagnostics ride *asynchronously submitted* query
+    # plans over one long-lived backend indexing the original points: the
+    # next iteration only needs the `remaining` set (computed in-line
+    # below), never these counts, so each submitted plan overlaps every
+    # subsequent private iteration and the futures are merged only after the
+    # loop.  Merge order is submission order and the sharded merge is
+    # shard-ordered, so the counts are deterministic regardless of how the
+    # rounds and the coverage tasks interleave.
+    # (The isinstance guard above rejects prebuilt instances, so this
+    # resolve always *builds* a backend — it is owned, and closed, here.)
+    diagnostics = (resolve_backend(points, backend)
+                   if backend is not None else None)
+    coverage_futures = []
+    try:
+        for round_index in range(k):
+            if remaining.shape[0] < target:
+                break
+            result = one_cluster(remaining, target, per_round, beta=beta,
+                                 domain=domain, config=config,
+                                 rng=rngs[round_index], ledger=ledger,
+                                 backend=backend)
+            results.append(result)
+            if not result.found:
+                continue
+            # Use the measured radius (post-processing of the released centre
+            # and the remaining public iteration state) to decide coverage.
+            measured = result.effective_radius(remaining, target=target)
+            radius = measured * coverage_slack
+            ball = Ball(center=result.ball.center, radius=radius)
+            balls.append(ball)
+            keep = ~ball.contains(remaining)
+            remaining = remaining[keep]
+            covered_mask |= ball.contains(original)
+            if diagnostics is not None:
+                plan = QueryPlan()
+                plan.count_within_many(
+                    np.asarray([ball.center], dtype=float),
+                    np.asarray([ball.radius], dtype=float),
+                )
+                coverage_futures.append(diagnostics.submit(plan))
+
+        ball_coverages = (
+            [int(future.result()[0][0, 0]) for future in coverage_futures]
+            if diagnostics is not None else None
+        )
+    finally:
+        if diagnostics is not None:
+            close = getattr(diagnostics, "close", None)
+            if close is not None:
+                close()
 
     covered_fraction = float(np.count_nonzero(covered_mask)) / n
     return KClusterResult(balls=balls, results=results,
-                          covered_fraction=covered_fraction)
+                          covered_fraction=covered_fraction,
+                          ball_coverages=ball_coverages)
 
 
 __all__ = ["KClusterResult", "k_cluster"]

@@ -59,6 +59,7 @@ from repro.mechanisms.histogram import stable_histogram_choice_from_counts
 from repro.mechanisms.noisy_average import noisy_average, noisy_average_from_stats
 from repro.neighbors import (
     BackendLike,
+    QueryPlan,
     first_occurrence_cells,
     resolve_backend,
 )
@@ -85,6 +86,26 @@ _REUSE_SEARCH_LABELS = True
 #: exactly that, on both projection paths and including the NoisyAVG abstain
 #: branch.
 _SHARD_SIDE_ROTATED_STAGE = True
+
+#: Whether the backend path bundles its queries into
+#: :class:`~repro.neighbors.QueryPlan`\ s.  Each dependency frontier of the
+#: algorithm becomes one plan — the partition-search batch, the step-7 box
+#: histogram, the step-9 per-axis histograms, and the steps-10-11 NoisyAVG
+#: statistics — pinning the "one worker round trip per shard per stage"
+#: contract the instrumentation tests assert.  Each stage already cost one
+#: fan-out on the PR 4 per-query path (every plan here carries a single
+#: query), so the plan routing buys not fewer fan-outs but the plan
+#: execution guarantees: per-call selection-membership memoisation in the
+#: workers, round-trip accounting via ``pool_stats``, and the wire form
+#: multi-machine shards will speak.  A noise draw sits between consecutive
+#: stages and the later stage's query *arguments* depend on it, so no
+#: bitwise-faithful execution can fuse across a stage boundary — per-stage
+#: plans are the fusion limit at exact parity.  Plans change transport only
+#: — the serial evaluator runs the identical primitives, and the sharded
+#: merges are the same shard-order folds — so flipping the flag must not
+#: move a byte of any release; tests/test_release_parity.py disables it
+#: (forcing the PR 4 per-query fan-outs) and asserts exactly that.
+_FUSED_QUERY_PLANS = True
 
 
 def _failure(attempts: int, k: int) -> GoodCenterResult:
@@ -130,10 +151,16 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
         aggregate queries — the selected set travels as a
         :class:`~repro.neighbors.base.BoxSelection` label predicate, the
         rotated frame is just another ``backend.view(basis)``, and NoisyAVG
-        consumes the merged ``(count, exact sum)`` statistics.  The sharded
-        backend evaluates all of it shard-side over its shared-memory block,
-        so the parent's peak allocation in steps 8-11 is ``O(shard + d)`` —
-        it never holds the projected image, the membership mask, or the
+        consumes the merged ``(count, exact sum)`` statistics.  Each
+        dependency frontier is bundled into one
+        :class:`~repro.neighbors.QueryPlan` — the search batch, the box
+        histogram, the step-9 axis histograms, the steps-10-11 statistics —
+        so each stage costs exactly one worker round trip per shard, with
+        the selection's per-shard membership derived once per call (workers
+        memoise it under the selection's token).  The sharded backend
+        evaluates all of it shard-side over its shared-memory block, so the
+        parent's peak allocation in steps 8-11 is ``O(shard + d)`` — it
+        never holds the projected image, the membership mask, or the
         rotated selected coordinates.  Pure performance — the projection is
         row-decomposable, the grid hashes and sphere mask are shared
         definitions, histogram cells arrive in first-occurrence order, and
@@ -237,9 +264,15 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
             for _ in range(min(batch_size, max_attempts - attempts))
         ]
         if view is not None:
-            counts = view.heaviest_cell_counts(
-                width, np.stack([p.shifts for p in batch])
-            )
+            batch_shifts = np.stack([p.shifts for p in batch])
+            if _FUSED_QUERY_PLANS:
+                # One plan per batch: the whole attempt batch is a single
+                # round trip per shard on the sharded backend.
+                plan = QueryPlan()
+                slot = plan.heaviest_cell_counts(view, width, batch_shifts)
+                counts = resolved.execute(plan)[slot]
+            else:
+                counts = view.heaviest_cell_counts(width, batch_shifts)
             labels_batch = [None] * len(batch)
         else:
             labels_batch = [p.label_array(projected) for p in batch]
@@ -272,14 +305,19 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
     shard_side = view is not None and _SHARD_SIDE_ROTATED_STAGE
     cell_positions = None
     if view is not None:
-        if shard_side:
-            cell_keys, cell_counts = view.cell_histogram(
-                width, chosen_partition.shifts
-            )
+        want_inverse = not shard_side
+        if _FUSED_QUERY_PLANS:
+            plan = QueryPlan()
+            slot = plan.cell_histogram(view, width, chosen_partition.shifts,
+                                       return_inverse=want_inverse)
+            histogram = resolved.execute(plan)[slot]
         else:
-            cell_keys, cell_counts, cell_positions = view.cell_histogram(
-                width, chosen_partition.shifts, return_inverse=True
-            )
+            histogram = view.cell_histogram(width, chosen_partition.shifts,
+                                            return_inverse=want_inverse)
+        if shard_side:
+            cell_keys, cell_counts = histogram
+        else:
+            cell_keys, cell_counts, cell_positions = histogram
     else:
         if chosen_labels is None or not _REUSE_SEARCH_LABELS:
             chosen_labels = chosen_partition.label_array(projected)
@@ -352,10 +390,19 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
         axis_rngs = spawn_generators(axis_rng, dimension)
 
         if shard_side:
+            # Steps 8-9 are one plan: every axis histogram of the rotated
+            # frame (and the selection's membership derivation) rides a
+            # single round trip per shard.
             frame_view = resolved.view(basis)
-            axis_histograms = frame_view.masked_axis_histograms(
-                selection, interval_length
-            )
+            if _FUSED_QUERY_PLANS:
+                plan = QueryPlan()
+                slot = plan.masked_axis_histograms(frame_view, selection,
+                                                   interval_length)
+                axis_histograms = resolved.execute(plan)[slot]
+            else:
+                axis_histograms = frame_view.masked_axis_histograms(
+                    selection, interval_length
+                )
         else:
             rotated = project_onto_basis(selected, basis)
             axis_label_matrix = interval_labels(rotated, interval_length)
@@ -404,8 +451,18 @@ def good_center(points, radius: float, target: int, params: PrivacyParams,
     # ------------------------------------------------------------------ #
     avg_params = PrivacyParams(avg_epsilon, quarter_delta)
     if shard_side:
-        stats = frame_view.masked_clipped_sum(selection, sphere_center,
-                                              sphere_radius)
+        # Steps 10-11 are one plan: NoisyAVG's (count, exact sum) statistics
+        # arrive in a single round trip per shard.  The sphere's centre
+        # depends on the step-9 noise, so this frontier cannot fuse with the
+        # axis-histogram plan without changing the release.
+        if _FUSED_QUERY_PLANS:
+            plan = QueryPlan()
+            slot = plan.masked_clipped_sum(frame_view, selection,
+                                           sphere_center, sphere_radius)
+            stats = resolved.execute(plan)[slot]
+        else:
+            stats = frame_view.masked_clipped_sum(selection, sphere_center,
+                                                  sphere_radius)
         captured = int(stats.count)
         average = noisy_average_from_stats(
             stats.count, stats.vector_sum, diameter=2.0 * sphere_radius,

@@ -30,7 +30,12 @@ from repro.core.params import good_radius_gamma
 from repro.core.types import GoodRadiusResult
 from repro.geometry.grid import GridDomain
 from repro.mechanisms.laplace import laplace_noise
-from repro.neighbors import BackendLike, NeighborBackend, resolve_backend
+from repro.neighbors import (
+    BackendLike,
+    NeighborBackend,
+    QueryPlan,
+    resolve_backend,
+)
 from repro.quasiconcave.binary_search import noisy_binary_search
 from repro.quasiconcave.quality import CallableQuality
 from repro.quasiconcave.rec_concave import practical_promise, rec_concave
@@ -95,6 +100,12 @@ class RadiusScore:
     def evaluate(self, radii) -> np.ndarray:
         """``L(r, S)`` for every radius in ``radii`` (Algorithm 1, step 1).
 
+        The whole grid rides one single-query
+        :class:`~repro.neighbors.QueryPlan` — bitwise the direct
+        ``capped_average_scores`` call (the plan layer changes transport
+        only), but the batch now shares the backends' plan submission and
+        fan-out instrumentation path.
+
         Parameters
         ----------
         radii:
@@ -107,8 +118,23 @@ class RadiusScore:
             batched backend call (one merge-walk / streaming pass for the
             whole grid).
         """
+        return self.submit(radii).result()[0]
+
+    def submit(self, radii):
+        """Submit a score-profile batch as a plan.
+
+        Returns a :class:`~repro.neighbors.PlanFuture` whose ``result()``
+        holds ``[scores]``, bitwise identical to :meth:`evaluate`.  Note
+        that ``capped_average_scores`` is a *coordinator* plan operation —
+        its merge-walk / streaming evaluation runs before ``submit``
+        returns, on every backend — so this is the uniform plan-carriage
+        form of the batch (instrumentation, future-based hand-over), not a
+        way to overlap two profile evaluations.
+        """
         radii = np.atleast_1d(np.asarray(radii, dtype=float))
-        return self._backend.capped_average_scores(radii, self._target)
+        plan = QueryPlan()
+        plan.capped_average_scores(radii, self._target)
+        return self._backend.submit(plan)
 
     def evaluate_single(self, radius: float) -> float:
         """``L(radius, S)`` for one radius (see :meth:`evaluate`)."""
@@ -222,10 +248,11 @@ def good_radius(points, target: int, params: PrivacyParams, beta: float = 0.1,
     # ------------------------------------------------------------------ #
     def batch_quality(indices: np.ndarray) -> np.ndarray:
         radii = candidate_radii[indices]
-        # One fused backend call for L(r) and L(r/2): each radius is scored
-        # independently inside the profile walk, so batching never changes a
-        # value — it halves the merge-walk passes (and, for the sharded
-        # backend, the per-shard round trips).
+        # One fused backend call for L(r) and L(r/2), riding a single-query
+        # plan (RadiusScore.evaluate): each radius is scored independently
+        # inside the profile walk, so batching never changes a value — it
+        # halves the merge-walk passes (and, for the sharded backend, the
+        # per-shard round trips).
         values = score.evaluate(np.concatenate([radii, radii / 2.0]))
         values_at_r = values[:radii.shape[0]]
         values_at_half = values[radii.shape[0]:]

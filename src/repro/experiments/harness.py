@@ -6,6 +6,14 @@ factor* ``w`` — against a non-private reference solution, plus runtime and
 whether the private run succeeded at all.  :func:`evaluate_result` centralises
 that bookkeeping, and :func:`format_table` renders rows as the fixed-width
 text tables EXPERIMENTS.md quotes.
+
+For streaming evaluation workloads the harness also speaks the backend
+layer's query-plan dialect: :func:`submit_coverage_counts` bundles the
+coverage counts of a whole collection of released balls into **one**
+:class:`~repro.neighbors.QueryPlan` (a single round trip per shard on the
+sharded backend) and submits it asynchronously, so an experiment can kick
+off the next run while the previous run's coverage merges — the pattern
+``k_cluster`` uses internally for its per-ball diagnostics.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ import numpy as np
 
 from repro.baselines.nonprivate import nonprivate_one_cluster
 from repro.core.types import OneClusterResult
-from repro.neighbors import BackendLike
+from repro.neighbors import BackendLike, NeighborBackend, PlanFuture, QueryPlan
 
 
 @dataclass(frozen=True)
@@ -112,6 +120,46 @@ def timed(function: Callable, *args, **kwargs):
     return result, time.perf_counter() - start
 
 
+def submit_coverage_counts(backend: NeighborBackend, balls) -> PlanFuture:
+    """Asynchronously count how many indexed points each ball covers.
+
+    Bundles one ``count_within_many`` query per ball into a single
+    :class:`~repro.neighbors.QueryPlan` and submits it — on the sharded
+    backend the whole bundle is **one round trip per shard**, dispatched
+    without blocking, so the caller can overlap the counting with its next
+    private run and merge afterwards.  Counting is backend-exact (squared
+    space, the library-wide convention), hence bitwise identical across
+    backends and across sync/async submission.
+
+    Parameters
+    ----------
+    backend:
+        A ready :class:`~repro.neighbors.NeighborBackend` indexing the
+        evaluation points.
+    balls:
+        An iterable of :class:`~repro.geometry.balls.Ball`-likes (anything
+        with ``center`` and ``radius``).
+
+    Returns
+    -------
+    PlanFuture
+        Resolve with :func:`coverage_counts_result` (or ``.result()``
+        directly: entry ``i`` is a ``(1, 1)`` count grid for ball ``i``).
+    """
+    plan = QueryPlan()
+    for ball in balls:
+        plan.count_within_many(
+            np.asarray([np.asarray(ball.center, dtype=float)]),
+            np.asarray([float(ball.radius)]),
+        )
+    return backend.submit(plan)
+
+
+def coverage_counts_result(future: PlanFuture) -> List[int]:
+    """Merge a :func:`submit_coverage_counts` future into per-ball counts."""
+    return [int(grid[0, 0]) for grid in future.result()]
+
+
 def summarise(records: Iterable[EvaluationRecord]) -> Dict[str, float]:
     """Aggregate a set of repetition records into mean statistics."""
     records = list(records)
@@ -165,4 +213,12 @@ def format_table(rows: Sequence[Dict[str, object]],
     return "\n".join([header, divider, body])
 
 
-__all__ = ["EvaluationRecord", "evaluate_result", "timed", "summarise", "format_table"]
+__all__ = [
+    "EvaluationRecord",
+    "coverage_counts_result",
+    "evaluate_result",
+    "format_table",
+    "submit_coverage_counts",
+    "summarise",
+    "timed",
+]

@@ -33,6 +33,14 @@ The sharded strategy applies the projection *and* the aggregation
 shard-side, so the parent never materialises the image, the selected set,
 or any membership array.
 
+Any bundle of these read-only primitives can travel as a
+:class:`~repro.neighbors.base.QueryPlan`: ``backend.execute(plan)`` runs
+the whole bundle in one worker round trip per shard (serial backends
+evaluate it as a loop, so parity is by construction), with per-plan
+shard-side memoisation of selection membership and projected images, and
+``backend.submit(plan)`` dispatches it asynchronously — shard-order merges
+keep every value bitwise deterministic no matter how many plans overlap.
+
 All strategies return *identical* integer counts, bit-identical ``L(r, S)``
 values, and identical view grid hashes (see
 :mod:`repro.neighbors._distance` and
@@ -55,7 +63,10 @@ from repro.neighbors.base import (
     BoxSelection,
     ClippedSum,
     NeighborBackend,
+    PlanFuture,
+    PlanQuery,
     ProjectedView,
+    QueryPlan,
     first_occurrence_cells,
 )
 from repro.neighbors.chunked import ChunkedBackend
@@ -194,7 +205,10 @@ __all__ = [
     "BoxSelection",
     "ClippedSum",
     "NeighborBackend",
+    "PlanFuture",
+    "PlanQuery",
     "ProjectedView",
+    "QueryPlan",
     "first_occurrence_cells",
     "DenseBackend",
     "ChunkedBackend",

@@ -37,8 +37,9 @@ every target, which keeps outlier screening (``t ~ 0.9 n``) off the
 from __future__ import annotations
 
 import abc
+import itertools
 from dataclasses import dataclass
-from typing import ClassVar, List, Optional, Tuple
+from typing import Any, ClassVar, List, Optional, Tuple
 
 import numpy as np
 
@@ -170,6 +171,13 @@ def first_occurrence_cells(labels: np.ndarray):
     return unique[order], counts[order]
 
 
+#: Monotonic ids for :class:`BoxSelection` instances.  The sharded workers
+#: key their per-shard membership cache on this token, so the masked queries
+#: of one ``good_center`` call (and of one :class:`QueryPlan`) derive each
+#: shard's membership at most once per worker instead of once per query.
+_SELECTION_TOKENS = itertools.count(1)
+
+
 @dataclass(frozen=True)
 class BoxSelection:
     """A label predicate: "the points whose image under *this view* falls in
@@ -184,13 +192,17 @@ class BoxSelection:
 
     Build one with :meth:`ProjectedView.box_selection`; it stays valid for
     masked queries on *any* view of the same backend (GoodCenter evaluates it
-    against the rotated-frame view).
+    against the rotated-frame view).  The ``token`` identifies the selection
+    across queries: workers memoise their shard's membership rows under it,
+    so repeated masked queries (or the queries of one plan) re-derive
+    nothing.
     """
 
     view: "ProjectedView"
     width: float
     shifts: np.ndarray
     label: np.ndarray
+    token: Optional[int] = None
 
     def membership(self) -> np.ndarray:
         """The ``(n,)`` boolean membership mask (materialised; the sharded
@@ -497,7 +509,7 @@ class ProjectedView:
                 f"{self.image_dimension}"
             )
         return BoxSelection(view=self, width=float(width), shifts=shifts,
-                            label=label)
+                            label=label, token=next(_SELECTION_TOKENS))
 
     def _selection_rows(self, selection) -> np.ndarray:
         """Normalise a masked-query selection to ascending global rows.
@@ -619,6 +631,265 @@ class ProjectedView:
                 for axis in range(self.image_dimension)]
 
 
+# --------------------------------------------------------------------------- #
+# Query plans: one-round-trip multi-query execution
+# --------------------------------------------------------------------------- #
+
+#: Plan operations evaluated over a selection (their per-shard partials are
+#: computed from the memoised membership rows).
+MASKED_PLAN_OPS = frozenset({
+    "masked_count", "masked_sum", "masked_minmax", "masked_clipped_sum",
+    "masked_axis_histograms",
+})
+
+#: Plan operations evaluated against a :class:`ProjectedView` (the masked
+#: ones plus the grid-hash queries).
+VIEW_PLAN_OPS = MASKED_PLAN_OPS | frozenset({
+    "heaviest_cell_counts", "cell_histogram", "axis_interval_labels",
+})
+
+#: Whole-dataset plan operations answered by the backend itself.
+#: ``count_within_many`` decomposes into per-shard partials and joins the
+#: single fused round trip; ``capped_average_scores`` is a *coordinator*
+#: operation (its merge-walk / streaming evaluation runs its own internal
+#: fan-outs) carried in a plan so score batches ride the same submission and
+#: instrumentation path.
+BACKEND_PLAN_OPS = frozenset({"count_within_many", "capped_average_scores"})
+
+
+@dataclass(frozen=True)
+class PlanQuery:
+    """One operation of a :class:`QueryPlan`.
+
+    Attributes
+    ----------
+    op:
+        The primitive's name (a member of :data:`VIEW_PLAN_OPS` or
+        :data:`BACKEND_PLAN_OPS`).
+    view_slot:
+        Index into the plan's view table (``None`` for backend-level
+        operations).
+    selection_slot:
+        Index into the plan's selection table (``None`` for unselected
+        operations).  Queries sharing a slot share one membership
+        derivation per shard.
+    args:
+        The validated positional payload, in the order of the underlying
+        method's signature (after the selection, where one applies).
+    """
+
+    op: str
+    view_slot: Optional[int]
+    selection_slot: Optional[int]
+    args: tuple
+
+
+class QueryPlan:
+    """An ordered bundle of backend queries executed in one round trip.
+
+    A plan collects any number of the existing read-only primitives —
+    masked aggregates, grid hashes, batched ball counts — over one or more
+    :class:`ProjectedView`\\ s and selections, and hands them to
+    :meth:`NeighborBackend.execute` (or :meth:`NeighborBackend.submit` for
+    asynchronous submission).  The payoff is transport, not semantics: the
+    sharded backend ships the whole bundle to each shard as a *single*
+    worker task — one round trip per shard for the entire plan, with the
+    shard's selection membership and projected images derived at most once —
+    while the in-process backends evaluate the same bundle as a plain loop,
+    so parity across backends is by construction.
+
+    Each append method validates its arguments eagerly (so mistakes surface
+    where the plan is built, not inside a worker) and returns the query's
+    *result slot*: ``execute`` returns a list whose entry at that slot holds
+    the query's result, with exactly the type and values the corresponding
+    direct method call would return.
+
+    Plans are read-only bundles — they carry no noise, no mutation, and no
+    dataflow between their queries (a query's arguments cannot depend on
+    another query's result; dependent rounds are separate plans, which
+    :meth:`NeighborBackend.submit` lets callers overlap).
+    """
+
+    def __init__(self) -> None:
+        self._views: List["ProjectedView"] = []
+        self._selections: List[Any] = []
+        self._queries: List[PlanQuery] = []
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def views(self) -> List["ProjectedView"]:
+        """The distinct views the plan queries (deduplicated by identity)."""
+        return list(self._views)
+
+    @property
+    def selections(self) -> List[Any]:
+        """The distinct selections the plan queries (deduplicated by
+        identity; queries sharing a slot share one membership derivation)."""
+        return list(self._selections)
+
+    @property
+    def queries(self) -> List[PlanQuery]:
+        """The ordered queries; ``execute`` returns one result per entry."""
+        return list(self._queries)
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def _slot_of(self, table: list, item) -> int:
+        for slot, existing in enumerate(table):
+            if existing is item:
+                return slot
+        table.append(item)
+        return len(table) - 1
+
+    def _append(self, op: str, view: Optional["ProjectedView"],
+                selection, args: tuple) -> int:
+        view_slot = None if view is None else self._slot_of(self._views, view)
+        selection_slot = (None if selection is None
+                          else self._slot_of(self._selections, selection))
+        self._queries.append(PlanQuery(op=op, view_slot=view_slot,
+                                       selection_slot=selection_slot,
+                                       args=args))
+        return len(self._queries) - 1
+
+    @staticmethod
+    def _require_view(view) -> "ProjectedView":
+        if not isinstance(view, ProjectedView):
+            raise TypeError(
+                f"plan queries need a ProjectedView, got {type(view).__name__}"
+            )
+        return view
+
+    # ------------------------------------------------------------------ #
+    # Grid-hash queries
+    # ------------------------------------------------------------------ #
+    def heaviest_cell_counts(self, view: "ProjectedView", width: float,
+                             shifts) -> int:
+        """Append a :meth:`ProjectedView.heaviest_cell_counts` query
+        (GoodCenter's partition-search batch); returns its result slot."""
+        view = self._require_view(view)
+        shifts = view._check_shifts(shifts, batched=True)
+        return self._append("heaviest_cell_counts", view, None,
+                            (float(width), shifts))
+
+    def cell_histogram(self, view: "ProjectedView", width: float, shifts,
+                       return_inverse: bool = False) -> int:
+        """Append a :meth:`ProjectedView.cell_histogram` query; returns its
+        result slot."""
+        view = self._require_view(view)
+        shifts = view._check_shifts(shifts, batched=False)
+        return self._append("cell_histogram", view, None,
+                            (float(width), shifts, bool(return_inverse)))
+
+    def axis_interval_labels(self, view: "ProjectedView", width: float,
+                             offset: float = 0.0, rows=None) -> int:
+        """Append a :meth:`ProjectedView.axis_interval_labels` query; returns
+        its result slot."""
+        view = self._require_view(view)
+        if rows is not None:
+            rows = view._check_rows(rows)
+        return self._append("axis_interval_labels", view, None,
+                            (float(width), float(offset), rows))
+
+    # ------------------------------------------------------------------ #
+    # Masked aggregation
+    # ------------------------------------------------------------------ #
+    def _masked(self, op: str, view, selection, args: tuple = ()) -> int:
+        view = self._require_view(view)
+        if selection is None:
+            raise ValueError(f"{op} requires a selection")
+        return self._append(op, view, selection, args)
+
+    def masked_count(self, view: "ProjectedView", selection) -> int:
+        """Append a :meth:`ProjectedView.masked_count` query; returns its
+        result slot."""
+        return self._masked("masked_count", view, selection)
+
+    def masked_sum(self, view: "ProjectedView", selection) -> int:
+        """Append a :meth:`ProjectedView.masked_sum` query; returns its
+        result slot."""
+        return self._masked("masked_sum", view, selection)
+
+    def masked_minmax(self, view: "ProjectedView", selection) -> int:
+        """Append a :meth:`ProjectedView.masked_minmax` query; returns its
+        result slot."""
+        return self._masked("masked_minmax", view, selection)
+
+    def masked_clipped_sum(self, view: "ProjectedView", selection, center,
+                           clip_radius: float) -> int:
+        """Append a :meth:`ProjectedView.masked_clipped_sum` query (NoisyAVG's
+        ``(count, exact sum)`` statistics); returns its result slot."""
+        view = self._require_view(view)
+        center = np.asarray(center, dtype=float).reshape(-1)
+        if center.shape[0] != view.image_dimension:
+            raise ValueError(
+                f"center has dimension {center.shape[0]}, expected "
+                f"{view.image_dimension}"
+            )
+        return self._masked("masked_clipped_sum", view, selection,
+                            (center, float(clip_radius)))
+
+    def masked_axis_histograms(self, view: "ProjectedView", selection,
+                               width: float, offset: float = 0.0) -> int:
+        """Append a :meth:`ProjectedView.masked_axis_histograms` query
+        (GoodCenter's step-9 per-axis interval histograms); returns its
+        result slot."""
+        return self._masked("masked_axis_histograms", view, selection,
+                            (float(width), float(offset)))
+
+    # ------------------------------------------------------------------ #
+    # Whole-dataset queries
+    # ------------------------------------------------------------------ #
+    def count_within_many(self, centers, radii) -> int:
+        """Append a :meth:`NeighborBackend.count_within_many` query (the
+        batched ``(centers, radii)`` count grid); returns its result slot.
+        Decomposes into per-shard partials, so it joins the plan's single
+        fused round trip."""
+        centers = check_points(centers, name="centers")
+        radii = np.atleast_1d(np.asarray(radii, dtype=float))
+        return self._append("count_within_many", None, None, (centers, radii))
+
+    def capped_average_scores(self, radii, target: int,
+                              streaming: Optional[bool] = None) -> int:
+        """Append a :meth:`NeighborBackend.capped_average_scores` batch (the
+        GoodRadius score profile); returns its result slot.  A *coordinator*
+        operation: its merge-walk / streaming evaluation runs the backend's
+        own internal fan-outs rather than joining the per-shard bundle."""
+        radii = np.atleast_1d(np.asarray(radii, dtype=float))
+        target = check_integer(target, "target", minimum=1)
+        return self._append("capped_average_scores", None, None,
+                            (radii, target, streaming))
+
+
+class PlanFuture:
+    """Handle for a submitted :class:`QueryPlan`.
+
+    The base class wraps an already-computed result list — the serial
+    backends evaluate eagerly at submission, so ``submit`` degrades to
+    ``execute`` with a deferred hand-over.  The sharded backend returns a
+    subclass whose per-shard tasks are genuinely in flight; its
+    :meth:`result` collects and merges them **in shard order**, so the
+    merged values — and therefore every released value derived from them —
+    are bitwise independent of worker scheduling and of how many plans were
+    overlapped.
+    """
+
+    def __init__(self, results: List[Any]) -> None:
+        self._results = list(results)
+
+    def done(self) -> bool:
+        """Whether :meth:`result` will return without blocking."""
+        return True
+
+    def result(self) -> List[Any]:
+        """The per-query results, indexed by the slots the plan's append
+        methods returned.  Blocks until the plan completes; repeated calls
+        return the same list."""
+        return self._results
+
+
 class NeighborBackend(abc.ABC):
     """Distance-query oracle over a fixed ``(n, d)`` dataset."""
 
@@ -677,6 +948,83 @@ class NeighborBackend(abc.ABC):
             the projection shard-side; results are bit-identical either way.
         """
         return ProjectedView(self, matrix=matrix, offset=offset)
+
+    # ------------------------------------------------------------------ #
+    # Query-plan execution
+    # ------------------------------------------------------------------ #
+    def _evaluate_plan_query(self, plan: QueryPlan, query: PlanQuery,
+                             rows_cache: dict):
+        """Evaluate one plan query in-process (the serial reference).
+
+        Selection membership is derived once per selection slot and reused
+        by every query sharing it (``rows_cache``); feeding the precomputed
+        ascending row array back through the masked queries' row-selection
+        path is bitwise identical to handing each query the original
+        selection, so the memoisation is pure performance.
+        """
+        if query.op == "count_within_many":
+            centers, radii = query.args
+            return self.count_within_many(centers, radii)
+        if query.op == "capped_average_scores":
+            radii, target, streaming = query.args
+            return self.capped_average_scores(radii, target,
+                                              streaming=streaming)
+        if query.op not in VIEW_PLAN_OPS:
+            raise ValueError(f"unknown plan operation {query.op!r}")
+        view = plan.views[query.view_slot]
+        if view.backend is not self:
+            raise ValueError(
+                "the plan queries a view of a different backend; build the "
+                "plan against the backend that executes it"
+            )
+        if query.selection_slot is None:
+            return getattr(view, query.op)(*query.args)
+        rows = rows_cache.get(query.selection_slot)
+        if rows is None:
+            rows = view._selection_rows(plan.selections[query.selection_slot])
+            rows_cache[query.selection_slot] = rows
+        return getattr(view, query.op)(rows, *query.args)
+
+    def execute(self, plan: QueryPlan) -> List[Any]:
+        """Run a :class:`QueryPlan`; one result per query, in plan order.
+
+        This base implementation evaluates the bundle as a plain in-process
+        loop over the existing primitives — which is the definition the
+        fused strategies must match, so cross-backend parity of plan results
+        is by construction.  Selection membership is derived once per
+        distinct selection and shared by every query referencing it.
+
+        Parameters
+        ----------
+        plan:
+            The bundle to run.  Views referenced by the plan must belong to
+            this backend.
+
+        Returns
+        -------
+        list
+            Per-query results, indexed by the slots the plan's append
+            methods returned; each entry has exactly the type and value the
+            corresponding direct method call would produce.
+        """
+        rows_cache: dict = {}
+        return [self._evaluate_plan_query(plan, query, rows_cache)
+                for query in plan.queries]
+
+    def submit(self, plan: QueryPlan) -> PlanFuture:
+        """Submit a :class:`QueryPlan` asynchronously; returns a
+        :class:`PlanFuture`.
+
+        Streaming workloads use this to overlap consecutive rounds: submit
+        the next round's plan, then merge the current one while the workers
+        chew on the new bundle.  Results — collected with
+        :meth:`PlanFuture.result` — are bitwise identical to
+        :meth:`execute`, regardless of how many plans are in flight or how
+        worker scheduling interleaves them (the sharded merge always folds
+        shards in shard order).  Serial backends evaluate eagerly at
+        submission and hand back a completed future.
+        """
+        return PlanFuture(self.execute(plan))
 
     # ------------------------------------------------------------------ #
     # Primitives each strategy implements
@@ -855,24 +1203,29 @@ class NeighborBackend(abc.ABC):
     def _streaming_profile(self, radii: np.ndarray, target: int) -> np.ndarray:
         """Radii-chunked streaming evaluation of ``L(r, S)``.
 
-        The radii are processed in chunks sized so the per-chunk histograms
-        stay within (half of) the default memory budget; each chunk costs one
-        blocked pass over the pairwise distances, delegated to
-        :meth:`_capped_count_histograms` so multi-process strategies can
-        parallelise the pass.
+        The radii are processed in *sweeps*: one sweep is a single blocked
+        pass over the pairwise distances — each ``(block, n)`` slab is
+        computed and **sorted once**, then binary-searched for every radius
+        of the sweep — delegated to :meth:`_capped_count_histograms` so
+        multi-process strategies can parallelise the pass.  The sweep is
+        sized so its ``(sweep, cap + 1)`` histograms fill (at most) one
+        memory budget; in the common regime the whole radius grid fits one
+        sweep, so every block is sorted exactly once for the entire profile.
+        (The pre-PR-5 walk chunked at half a budget and re-ran the distance
+        pass — recomputing *and re-sorting* every slab — per chunk.)
         """
         cap = min(target, self.num_points)
         keys = _squared_radii(radii)
-        chunk = int(max(8, min(
+        sweep = int(max(8, min(
             max(keys.shape[0], 1),
-            DEFAULT_MEMORY_BUDGET // (16 * (cap + 1)),
+            DEFAULT_MEMORY_BUDGET // (8 * (cap + 1)),
         )))
         scores = np.empty(keys.shape[0], dtype=float)
-        for start in range(0, keys.shape[0], chunk):
+        for start in range(0, keys.shape[0], sweep):
             histograms = self._capped_count_histograms(
-                keys[start:start + chunk], cap
+                keys[start:start + sweep], cap
             )
-            scores[start:start + chunk] = _scores_from_histograms(
+            scores[start:start + sweep] = _scores_from_histograms(
                 histograms, cap, target
             )
         return scores
@@ -901,11 +1254,17 @@ class NeighborBackend(abc.ABC):
 
 
 __all__ = [
+    "BACKEND_PLAN_OPS",
     "BoxSelection",
     "ClippedSum",
+    "MASKED_PLAN_OPS",
     "NeighborBackend",
+    "PlanFuture",
+    "PlanQuery",
     "ProjectedView",
+    "QueryPlan",
     "STREAMING_MIN_POINTS",
     "STREAMING_TARGET_FRACTION",
+    "VIEW_PLAN_OPS",
     "first_occurrence_cells",
 ]

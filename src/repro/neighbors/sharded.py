@@ -20,10 +20,18 @@ Worker topology: the parent copies the ``(n, d)`` dataset into one
 ``multiprocessing.shared_memory`` block at pool start-up; workers attach in
 their initialiser and build per-shard inner backends lazily (cached per
 process), so a query ships only its small payload (a radius, a handful of
-shifts, a centre block) — never the dataset.  On a single-CPU machine, when
-``num_workers=0``, or when the pool cannot start (sandboxes without
-``/dev/shm``), the same shard/merge code runs serially in-process — results
-are bit-identical either way, the pool is purely a wall-clock lever.
+shifts, a centre block) — never the dataset.  Tasks are routed with
+shard→worker *affinity* (shard ``s`` always lands on worker slot ``s mod
+W``), so each shard's lazily built index, cached view images, and memoised
+selection membership live in exactly one worker.  Multi-query bundles
+(:class:`~repro.neighbors.base.QueryPlan`) ship as a *single* task per shard
+— one round trip per shard for a whole plan — and can be submitted
+asynchronously (``submit``), with the merge always folding shards in shard
+order so overlapping plans cannot perturb a single bit.  On a single-CPU
+machine, when ``num_workers=0``, or when the pool cannot start (sandboxes
+without ``/dev/shm``), the same shard/merge code runs serially in-process —
+results are bit-identical either way, the pool is purely a wall-clock
+lever.
 
 Everything merged here is integer counts or exact squared distances, so the
 sharded backend keeps the library-wide guarantee: identical counts and
@@ -51,8 +59,11 @@ from repro.neighbors._distance import (
 )
 from repro.neighbors.base import (
     BoxSelection,
+    ClippedSum,
     NeighborBackend,
+    PlanFuture,
     ProjectedView,
+    QueryPlan,
 )
 from repro.utils.exactsum import (
     fixed_point_column_sums,
@@ -90,25 +101,41 @@ class _ShardSet:
     literally the same code.
     """
 
+    #: How many projected images a worker keeps per shard it serves (see
+    #: the ``_view_images`` attribute note in ``__init__``).
+    VIEW_IMAGE_CACHE_PER_SHARD: ClassVar[int] = 2
+
     def __init__(self, points: np.ndarray, bounds: Sequence[Tuple[int, int]],
                  inner_backend: str) -> None:
         self.points = points
         self.bounds = list(bounds)
         self.inner_backend = inner_backend
         self._backends = {}
-        #: Per-shard cached projected image: ``shard -> (view token, image)``.
-        #: One entry per shard (the latest view wins), so a long-lived worker
-        #: holds at most one ``(shard n, k)`` image per shard it serves.
+        #: Per-shard cached projected images: ``shard -> {view token: image}``
+        #: with the oldest entry evicted beyond
+        #: :data:`VIEW_IMAGE_CACHE_PER_SHARD`, so a long-lived worker holds a
+        #: bounded number of ``(shard n, k)`` images per shard it serves.
+        #: Two entries cover GoodCenter's working set (the partition-search
+        #: view the selection predicate is re-derived against plus the
+        #: rotated-frame view) — the old single-entry cache thrashed between
+        #: them on every masked query.
         self._view_images = {}
+        #: Per-shard memoised selection membership: ``shard -> (selection
+        #: token, ascending shard-local rows)``.  One entry per shard (the
+        #: latest selection wins): the masked queries of one ``good_center``
+        #: call — and of one query plan — all reference a single selection,
+        #: so each worker derives its shard's membership exactly once.
+        self._selection_rows = {}
 
     def backend(self, shard: int) -> NeighborBackend:
         """The inner backend indexing shard ``shard`` (built on first use).
 
-        Caches are per process: `ProcessPoolExecutor` routes tasks to any
-        idle worker, so a long-lived backend may build a given shard's index
-        in several workers.  With the default topology (shards == workers)
-        that is at most ``W`` extra lazily-built indexes pool-wide — accepted
-        for now in exchange for the executor's simple work stealing.
+        Caches are per process.  Since shard→worker routing affinity (tasks
+        for shard ``s`` always land on worker ``s mod W``), each shard's
+        index is built in exactly one worker under pool mode, so this lazy
+        build runs once per shard pool-wide — the old any-idle-worker routing
+        could duplicate it once per (shard, worker) pair under mixed
+        plan/point-query load.
         """
         if shard not in self._backends:
             from repro.neighbors import (
@@ -193,19 +220,35 @@ class _ShardSet:
         if rows is not None:
             return apply_linear_image(self.points[low:high][rows], matrix,
                                       offset)
-        cached = self._view_images.get(shard)
-        if token is None or cached is None or cached[0] != token:
-            image = apply_linear_image(self.points[low:high], matrix, offset)
-            if token is None:
-                return image
-            self._view_images[shard] = (token, image)
-            cached = self._view_images[shard]
-        return cached[1]
+        if token is None:
+            return apply_linear_image(self.points[low:high], matrix, offset)
+        cached = self._view_images.setdefault(shard, {})
+        if token not in cached:
+            cached[token] = apply_linear_image(self.points[low:high], matrix,
+                                               offset)
+            while len(cached) > self.VIEW_IMAGE_CACHE_PER_SHARD:
+                cached.pop(next(iter(cached)))
+        return cached[token]
 
     def clear_view_images(self) -> None:
-        """Drop every cached per-shard view image (see
-        :meth:`ShardedBackend.close`)."""
+        """Drop every cached per-shard view image and memoised selection
+        membership (see :meth:`ShardedBackend.close`)."""
         self._view_images.clear()
+        self._selection_rows.clear()
+
+    def cache_stats(self) -> dict:
+        """Cache/index occupancy of this shard set (one worker's view of the
+        world under pool mode; the parent's under the serial fallback).
+        Feeds :meth:`ShardedBackend.pool_stats`."""
+        return {
+            "built_shards": sorted(self._backends),
+            "cached_view_images": {
+                shard: len(images)
+                for shard, images in sorted(self._view_images.items())
+            },
+            "cached_selections": sorted(self._selection_rows),
+            "pid": os.getpid(),
+        }
 
     def view_heaviest_cells(self, shard: int, token: Optional[int],
                             matrix: Optional[np.ndarray],
@@ -339,17 +382,27 @@ class _ShardSet:
 
         ``spec`` is the wire form of a selection: ``("rows", local_rows)``
         ships a pre-sliced shard-local index array, while ``("box",
-        sel_token, sel_matrix, sel_offset, width, shifts, label)`` ships the
-        *label predicate* — the shard re-derives its own membership from its
-        (token-cached) image of the selecting view, so the mask never exists
-        as an array in the parent.
+        sel_token, view_token, sel_matrix, sel_offset, width, shifts,
+        label)`` ships the *label predicate* — the shard re-derives its own
+        membership from its (token-cached) image of the selecting view, so
+        the mask never exists as an array in the parent.  The derived rows
+        are memoised per shard under ``sel_token``: consecutive masked
+        queries over the same selection (GoodCenter issues several per call)
+        hash the image once, not once per query.
         """
         if spec[0] == "rows":
             return np.asarray(spec[1], dtype=np.int64)
-        _, token, matrix, offset, width, shifts, label = spec
+        _, sel_token, token, matrix, offset, width, shifts, label = spec
+        if sel_token is not None:
+            cached = self._selection_rows.get(shard)
+            if cached is not None and cached[0] == sel_token:
+                return cached[1]
         mask = self.view_label_mask(shard, token, matrix, offset, width,
                                     shifts, label)
-        return np.flatnonzero(mask)
+        rows = np.flatnonzero(mask)
+        if sel_token is not None:
+            self._selection_rows[shard] = (sel_token, rows)
+        return rows
 
     def view_masked_count(self, shard: int, spec: tuple) -> int:
         """This shard's selected-row count."""
@@ -423,6 +476,79 @@ class _ShardSet:
             per_axis.append((unique, counts, first))
         return int(rows.shape[0]), per_axis
 
+    # ------------------------------------------------------------------ #
+    # Fused plan execution (one task per shard for a whole QueryPlan)
+    # ------------------------------------------------------------------ #
+    def execute_plan(self, shard: int, views: Sequence[tuple],
+                     selections: Sequence[tuple],
+                     queries: Sequence[tuple]) -> list:
+        """Evaluate every query of a compiled plan over this shard.
+
+        ``views`` is the plan's view table as ``(token, matrix, offset)``
+        wire triples, ``selections`` its selection table in the per-shard
+        spec form of :meth:`_selection_rows_local`, and ``queries`` the
+        ordered ``(op, view_slot, selection_slot, args)`` bundle.  Each
+        query's partial is exactly what the corresponding standalone shard
+        sub-query would return — the parent merges them with the same code —
+        but the whole bundle costs *one* task dispatch, each selection's
+        membership is derived at most once (``rows_cache``), and each view's
+        image is projected at most once (the token-keyed image cache).
+        """
+        rows_cache: dict = {}
+        results = []
+        for op, view_slot, sel_slot, args in queries:
+            token = matrix = offset = None
+            if view_slot is not None:
+                token, matrix, offset = views[view_slot]
+            spec = None
+            if sel_slot is not None:
+                rows = rows_cache.get(sel_slot)
+                if rows is None:
+                    rows = self._selection_rows_local(shard,
+                                                      selections[sel_slot])
+                    rows_cache[sel_slot] = rows
+                spec = ("rows", rows)
+            if op == "masked_count":
+                results.append(int(spec[1].shape[0]))
+            elif op == "masked_sum":
+                results.append(self.view_masked_sum(shard, token, matrix,
+                                                    offset, spec))
+            elif op == "masked_minmax":
+                results.append(self.view_masked_minmax(shard, token, matrix,
+                                                       offset, spec))
+            elif op == "masked_clipped_sum":
+                center, clip_radius = args
+                results.append(self.view_masked_clipped(
+                    shard, token, matrix, offset, spec, center, clip_radius
+                ))
+            elif op == "masked_axis_histograms":
+                width, axis_offset = args
+                results.append(self.view_masked_axis_hists(
+                    shard, token, matrix, offset, spec, width, axis_offset
+                ))
+            elif op == "heaviest_cell_counts":
+                width, shifts, top_k = args
+                results.append(self.view_heaviest_cells(
+                    shard, token, matrix, offset, width, shifts, top_k
+                ))
+            elif op == "cell_histogram":
+                width, shifts, want_inverse = args
+                results.append(self.view_cell_histogram(
+                    shard, token, matrix, offset, width, shifts, want_inverse
+                ))
+            elif op == "axis_interval_labels":
+                width, axis_offset, local_rows = args
+                results.append(self.view_axis_labels(
+                    shard, token, matrix, offset, width, axis_offset,
+                    local_rows
+                ))
+            elif op == "count_within_many":
+                centers, radii = args
+                results.append(self.counts_many(shard, centers, radii))
+            else:
+                raise ValueError(f"unknown plan operation {op!r}")
+        return results
+
 
 # --------------------------------------------------------------------------- #
 # Worker-process plumbing
@@ -463,6 +589,214 @@ def _init_worker(shm_name: str, shape: Tuple[int, int], dtype_str: str,
 def _run_shard_task(method: str, shard: int, args: tuple):
     """Dispatch one shard sub-query inside a worker process."""
     return getattr(_WORKER_SHARDS, method)(shard, *args)
+
+
+def _worker_cache_stats() -> dict:
+    """Report this worker's cache/index occupancy (for ``pool_stats``)."""
+    return _WORKER_SHARDS.cache_stats()
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic shard-order merges
+#
+# Shared by the per-query fan-outs of ``_ShardedView`` and the fused plan
+# execution path: both collect per-shard partials in shard order and fold
+# them through these functions, so a query's result is bitwise the same
+# whether it travelled alone or inside a plan — and independent of worker
+# scheduling, because the fold order is the shard order, never the
+# completion order.
+# --------------------------------------------------------------------------- #
+
+def _split_rows_by_shard(rows: np.ndarray,
+                         bounds: Sequence[Tuple[int, int]]):
+    """Slice a global row-index array into shard-local pieces.
+
+    Returns ``(order, slices)``: ``slices[s]`` holds shard ``s``'s
+    (ascending, shard-local) rows, and ``order`` is the stable argsort that
+    maps the shard-major concatenation of the per-shard results back to the
+    caller's row order.
+    """
+    order = np.argsort(rows, kind="stable")
+    sorted_rows = rows[order]
+    slices = []
+    for low, high in bounds:
+        lo = np.searchsorted(sorted_rows, low, side="left")
+        hi = np.searchsorted(sorted_rows, high, side="left")
+        slices.append(sorted_rows[lo:hi] - low)
+    return order, slices
+
+
+def _merge_masked_sum(parts: Sequence[tuple]) -> np.ndarray:
+    """Fold ``(count, fixed-point sums)`` partials into the exact float
+    column sums (see :func:`repro.utils.exactsum.merge_fixed_point`)."""
+    totals = merge_fixed_point([part[1] for part in parts])
+    return np.asarray([fixed_point_to_float(total) for total in totals],
+                      dtype=float)
+
+
+def _merge_minmax(parts: Sequence[Optional[np.ndarray]],
+                  image_dimension: int) -> np.ndarray:
+    """Fold per-shard ``(2, k)`` extremes (``None`` = empty shard)."""
+    merged = np.vstack([np.full(image_dimension, np.inf),
+                        np.full(image_dimension, -np.inf)])
+    for part in parts:
+        if part is None:
+            continue
+        merged[0] = np.minimum(merged[0], part[0])
+        merged[1] = np.maximum(merged[1], part[1])
+    return merged
+
+
+def _merge_axis_histograms(parts: Sequence[tuple],
+                           image_dimension: int) -> list:
+    """Merge per-shard masked axis histograms, restoring the global
+    first-occurrence cell order.
+
+    Shard ``s``'s first-occurrence positions are offset by the selected-row
+    counts of shards ``0..s-1`` (the shards partition the ascending selected
+    sequence), then each axis follows the min-first / stable-argsort recipe
+    the stability histogram's noise draws depend on.
+    """
+    merged = []
+    for axis in range(image_dimension):
+        all_labels = []
+        all_counts = []
+        all_firsts = []
+        position_offset = 0
+        for local_count, per_axis in parts:
+            labels, counts, firsts = per_axis[axis]
+            all_labels.append(labels)
+            all_counts.append(counts)
+            all_firsts.append(firsts + position_offset)
+            position_offset += int(local_count)
+        labels = np.concatenate(all_labels)
+        counts = np.concatenate(all_counts)
+        firsts = np.concatenate(all_firsts)
+        unique, group = np.unique(labels, return_inverse=True)
+        summed = np.bincount(group, weights=counts,
+                             minlength=unique.shape[0]).astype(np.int64)
+        first = np.full(unique.shape[0], np.iinfo(np.int64).max,
+                        dtype=np.int64)
+        np.minimum.at(first, group, firsts)
+        order = np.argsort(first, kind="stable")
+        merged.append((unique[order], summed[order]))
+    return merged
+
+
+def _merge_cell_histogram(parts: Sequence[tuple],
+                          bounds: Sequence[Tuple[int, int]],
+                          num_points: int, return_inverse: bool):
+    """Merge per-shard box histograms into global first-occurrence order
+    (optionally with the per-point box positions, see
+    :meth:`~repro.neighbors.base.ProjectedView.cell_histogram`)."""
+    all_labels = np.concatenate([part[0] for part in parts], axis=0)
+    all_counts = np.concatenate([part[1] for part in parts])
+    all_firsts = np.concatenate([
+        part[2] + low for part, (low, _) in zip(parts, bounds)
+    ])
+    unique, group = np.unique(all_labels, axis=0, return_inverse=True)
+    group = np.reshape(group, -1)      # global group of each shard-unique
+    counts = np.bincount(group, weights=all_counts,
+                         minlength=unique.shape[0]).astype(np.int64)
+    first = np.full(unique.shape[0], num_points, dtype=np.int64)
+    np.minimum.at(first, group, all_firsts)
+    order = np.argsort(first, kind="stable")
+    if not return_inverse:
+        return unique[order], counts[order]
+    # Per-point positions: each shard's local group ids index into its
+    # slice of the concatenated uniques, whose global groups are in
+    # `group`; remap those through the first-occurrence ordering.
+    position = np.empty(order.shape[0], dtype=np.int64)
+    position[order] = np.arange(order.shape[0], dtype=np.int64)
+    point_positions = []
+    offset = 0
+    for part in parts:
+        shard_groups = group[offset:offset + part[0].shape[0]]
+        point_positions.append(position[shard_groups[part[3]]])
+        offset += part[0].shape[0]
+    return unique[order], counts[order], np.concatenate(point_positions)
+
+
+class _CompiledPlan:
+    """The wire form of one :class:`~repro.neighbors.base.QueryPlan`.
+
+    ``views_wire`` is the plan's view table as ``(token, matrix, offset)``
+    triples; ``selection_specs[j][s]`` shard ``s``'s spec for selection
+    ``j``; ``bundle`` the ordered shard-side queries (``args`` is either a
+    tuple shared by every shard or a per-shard list); ``merges`` one entry
+    per *plan* query — ``(op, bundle_index, extra)``, with ``bundle_index``
+    ``None`` for coordinator operations evaluated parent-side.
+    """
+
+    __slots__ = ("views_wire", "selection_specs", "bundle", "merges")
+
+    def __init__(self, views_wire, selection_specs, bundle, merges) -> None:
+        self.views_wire = views_wire
+        self.selection_specs = selection_specs
+        self.bundle = bundle
+        self.merges = merges
+
+    def shard_args(self, shard: int) -> tuple:
+        """The ``execute_plan`` payload for one shard."""
+        selections = [specs[shard] for specs in self.selection_specs]
+        queries = [
+            (op, view_slot, sel_slot,
+             args if isinstance(args, tuple) else args[shard])
+            for op, view_slot, sel_slot, args in self.bundle
+        ]
+        return (self.views_wire, selections, queries)
+
+
+class _ShardedPlanFuture(PlanFuture):
+    """An in-flight plan: one dispatched task per shard.
+
+    :meth:`result` collects the per-shard futures **in shard order** and
+    folds them through the deterministic merges, so the values — and the
+    releases derived from them — are independent of worker scheduling and of
+    how many plans are overlapped.  A broken pool degrades to the serial
+    path (recomputing the whole plan in-process), matching the point-query
+    fallback semantics.
+    """
+
+    def __init__(self, backend: "ShardedBackend", compiled: _CompiledPlan,
+                 futures: list) -> None:
+        self._backend = backend
+        self._compiled = compiled
+        self._futures = futures
+        self._resolved: Optional[list] = None
+
+    def done(self) -> bool:
+        """Whether every shard task has finished (merging still happens on
+        the first :meth:`result` call)."""
+        return (self._resolved is not None
+                or all(future.done() for future in self._futures))
+
+    def result(self) -> list:
+        """Block for the per-shard tasks, merge in shard order, and return
+        the per-query results (memoised across calls)."""
+        if self._resolved is None:
+            try:
+                shard_parts = [future.result() for future in self._futures]
+            except (BrokenProcessPool, OSError) as error:  # pragma: no cover
+                backend = self._backend
+                backend._pool_failed = True
+                backend.close()
+                warnings.warn(
+                    f"ShardedBackend worker pool died ({error}); recomputing "
+                    "the submitted plan on the serial in-process path",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                shard_parts = [
+                    backend._shards.execute_plan(
+                        shard, *self._compiled.shard_args(shard)
+                    )
+                    for shard in range(backend.num_shards)
+                ]
+            self._resolved = self._backend._merge_plan(self._compiled,
+                                                       shard_parts)
+            self._futures = []
+        return self._resolved
 
 
 class ShardedBackend(NeighborBackend):
@@ -520,9 +854,14 @@ class ShardedBackend(NeighborBackend):
         self._requested_workers = min(workers, num_shards)
         self._shards = _ShardSet(self._points, self._bounds,
                                  self._inner_backend)
-        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executors: Optional[List[ProcessPoolExecutor]] = None
         self._shm: Optional[shared_memory.SharedMemory] = None
         self._pool_failed = False
+        #: Monotonic fan-out instrumentation, exposed via :meth:`pool_stats`:
+        #: ``fanouts`` counts collective operations (each is one round trip
+        #: per shard), ``shard_tasks`` the per-shard tasks they dispatched,
+        #: ``plans`` the query plans executed or submitted.
+        self._stats = {"fanouts": 0, "shard_tasks": 0, "plans": 0}
 
     # ------------------------------------------------------------------ #
     # Topology
@@ -542,16 +881,60 @@ class ShardedBackend(NeighborBackend):
         """Whether queries run on a process pool (False = serial fallback)."""
         return self._requested_workers > 1 and not self._pool_failed
 
+    def pool_stats(self) -> dict:
+        """Fan-out instrumentation and per-worker cache occupancy.
+
+        Returns a dict with the monotonic counters ``fanouts`` (collective
+        operations — each is one round trip per shard), ``shard_tasks``
+        (per-shard tasks those operations dispatched) and ``plans`` (query
+        plans executed/submitted), plus the topology and a ``workers`` list:
+        one :meth:`_ShardSet.cache_stats` entry per live worker slot (pool
+        mode) or the parent shard set's entry (serial fallback).  With
+        routing affinity each shard index appears in exactly one worker's
+        ``built_shards`` — the property the affinity tests pin.
+
+        Purely diagnostic: reading it never starts the pool, but in pool
+        mode it does dispatch one stats task per live worker slot.
+        """
+        stats = dict(self._stats)
+        stats["num_shards"] = self.num_shards
+        stats["requested_workers"] = self._requested_workers
+        stats["parallel"] = self._executors is not None
+        if self._executors is not None:
+            try:
+                stats["workers"] = [
+                    executor.submit(_worker_cache_stats).result()
+                    for executor in self._executors
+                ]
+            except (BrokenProcessPool, OSError):  # pragma: no cover
+                stats["workers"] = []
+        else:
+            stats["workers"] = [self._shards.cache_stats()]
+        return stats
+
     # ------------------------------------------------------------------ #
     # Pool lifecycle
     # ------------------------------------------------------------------ #
-    def _ensure_executor(self) -> Optional[ProcessPoolExecutor]:
-        """Start the pool + shared-memory block lazily; ``None`` = serial."""
+    def _ensure_executors(self) -> Optional[List[ProcessPoolExecutor]]:
+        """Start the worker slots + shared-memory block lazily.
+
+        Returns a list of ``W`` single-process executors (``None`` =
+        serial).  One executor per worker slot is what implements the
+        shard→worker routing *affinity*: tasks for shard ``s`` always go to
+        slot ``s mod W`` (see :meth:`_submit_shard_task`), so each shard's
+        lazy index/image caches live in exactly one worker process —
+        the single shared pool they replace let any idle worker grab any
+        shard, duplicating per-shard indexes across workers under mixed
+        plan/point-query load.  With the default topology (shards ==
+        workers) per-fan-out parallelism is unchanged: every slot still
+        receives exactly one task per collective operation.
+        """
         if self._requested_workers <= 1 or self._pool_failed:
             return None
-        if self._executor is not None:
-            return self._executor
+        if self._executors is not None:
+            return self._executors
         shm = None
+        executors: List[ProcessPoolExecutor] = []
         try:
             data = np.ascontiguousarray(self._points)
             shm = shared_memory.SharedMemory(create=True, size=data.nbytes)
@@ -563,14 +946,17 @@ class ShardedBackend(NeighborBackend):
             # re-import cost and no dependence on PYTHONPATH in the children.
             methods = multiprocessing.get_all_start_methods()
             context = get_context("fork" if "fork" in methods else None)
-            executor = ProcessPoolExecutor(
-                max_workers=self._requested_workers,
-                mp_context=context,
-                initializer=_init_worker,
-                initargs=(shm.name, data.shape, data.dtype.str,
-                          self._bounds, self._inner_backend),
-            )
+            for _ in range(self._requested_workers):
+                executors.append(ProcessPoolExecutor(
+                    max_workers=1,
+                    mp_context=context,
+                    initializer=_init_worker,
+                    initargs=(shm.name, data.shape, data.dtype.str,
+                              self._bounds, self._inner_backend),
+                ))
         except (OSError, ValueError, ImportError) as error:
+            for executor in executors:  # pragma: no cover - partial start-up
+                executor.shutdown(wait=False)
             if shm is not None:  # don't leak the segment on executor failure
                 try:
                     shm.close()
@@ -587,20 +973,29 @@ class ShardedBackend(NeighborBackend):
             )
             return None
         self._shm = shm
-        self._executor = executor
-        return executor
+        self._executors = executors
+        return executors
+
+    def _submit_shard_task(self, executors: List[ProcessPoolExecutor],
+                           method: str, shard: int, args: tuple):
+        """Submit one shard sub-query to the shard's affinity slot."""
+        return executors[shard % len(executors)].submit(
+            _run_shard_task, method, shard, args
+        )
 
     def close(self) -> None:
-        """Shut down the pool and release the shared-memory block.
+        """Shut down the worker slots and release the shared-memory block.
 
         Safe to call repeatedly; also invoked on garbage collection.  After
         closing, the next query transparently restarts the pool.  Also drops
-        the serial fallback's cached view images (in pool mode those caches
-        live in the worker processes and die with them).
+        the serial fallback's cached view images and memoised selections (in
+        pool mode those caches live in the worker processes and die with
+        them).
         """
-        executor, self._executor = self._executor, None
-        if executor is not None:
-            executor.shutdown(wait=True)
+        executors, self._executors = self._executors, None
+        if executors is not None:
+            for executor in executors:
+                executor.shutdown(wait=True)
         shm, self._shm = self._shm, None
         if shm is not None:
             try:
@@ -634,14 +1029,17 @@ class ShardedBackend(NeighborBackend):
         """Like :meth:`_map_shards`, but with per-shard argument tuples (used
         when each shard receives only its own slice of a payload, e.g. the
         row subset of a view's axis-label query)."""
-        executor = self._ensure_executor()
+        self._stats["fanouts"] += 1
+        self._stats["shard_tasks"] += self.num_shards
+        executors = self._ensure_executors()
         shards = range(self.num_shards)
-        if executor is None:
+        if executors is None:
             return [getattr(self._shards, method)(s, *per_shard_args[s])
                     for s in shards]
         try:
             futures = [
-                executor.submit(_run_shard_task, method, s, per_shard_args[s])
+                self._submit_shard_task(executors, method, s,
+                                        per_shard_args[s])
                 for s in shards
             ]
             return [future.result() for future in futures]
@@ -666,8 +1064,10 @@ class ShardedBackend(NeighborBackend):
         once — callers pick the wave from the per-result size, trading pool
         utilisation for a hard buffer bound.
         """
-        executor = self._ensure_executor()
-        if executor is None:
+        self._stats["fanouts"] += 1
+        self._stats["shard_tasks"] += self.num_shards
+        executors = self._ensure_executors()
+        if executors is None:
             for shard in range(self.num_shards):
                 yield getattr(self._shards, method)(shard, *args)
             return
@@ -678,7 +1078,7 @@ class ShardedBackend(NeighborBackend):
         try:
             for start in range(0, self.num_shards, wave):
                 futures = [
-                    executor.submit(_run_shard_task, method, shard, args)
+                    self._submit_shard_task(executors, method, shard, args)
                     for shard in range(start, min(start + wave,
                                                   self.num_shards))
                 ]
@@ -831,6 +1231,320 @@ class ShardedBackend(NeighborBackend):
         """
         return self.view().heaviest_cell_counts(width, shifts)
 
+    # ------------------------------------------------------------------ #
+    # Fused query plans (one task per shard per plan)
+    # ------------------------------------------------------------------ #
+    def _check_global_rows(self, rows) -> np.ndarray:
+        """Validate a global row-index array (mirrors the view-side check —
+        no negative wrap-around, values in ``[0, n)``)."""
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        if rows.size and (int(rows.min()) < 0
+                          or int(rows.max()) >= self.num_points):
+            raise ValueError("rows must lie in [0, n)")
+        return rows
+
+    def _selection_specs(self, selection) -> List[tuple]:
+        """Per-shard wire specs of a masked-query selection.
+
+        A :class:`~repro.neighbors.base.BoxSelection` ships as its *label
+        predicate* — ``(selection token, selecting view's cache token /
+        matrix / offset, width, shifts, label)``, identical for every shard;
+        each worker re-derives its own membership from its cached image of
+        the selecting view (memoising the rows under the selection token),
+        so no ``O(n)`` mask or row list ever crosses the wire (or exists in
+        the parent).  Row/mask selections are normalised to ascending global
+        rows and sliced so each shard receives only its own (shard-local)
+        segment.
+        """
+        if isinstance(selection, BoxSelection):
+            view = selection.view
+            if view.backend is not self:
+                raise ValueError(
+                    "the BoxSelection was built over a different backend's "
+                    "view; selections only transfer between views of the "
+                    "same backend"
+                )
+            token = view._token if isinstance(view, _ShardedView) else None
+            spec = ("box", selection.token, token, view.matrix, view.offset,
+                    float(selection.width), selection.shifts, selection.label)
+            return [spec] * self.num_shards
+        array = np.asarray(selection)
+        if array.dtype == np.bool_:
+            if array.shape != (self.num_points,):
+                raise ValueError(
+                    f"boolean selection must have shape ({self.num_points},),"
+                    f" got {array.shape}"
+                )
+            rows = np.flatnonzero(array)
+        else:
+            rows = np.sort(self._check_global_rows(array), kind="stable")
+        specs = []
+        for low, high in self._bounds:
+            lo = np.searchsorted(rows, low, side="left")
+            hi = np.searchsorted(rows, high, side="left")
+            specs.append(("rows", rows[lo:hi] - low))
+        return specs
+
+    def _view_wire(self, view: ProjectedView) -> tuple:
+        """A view's ``(token, matrix, offset)`` wire triple."""
+        if view.backend is not self:
+            raise ValueError(
+                "the plan queries a view of a different backend; build the "
+                "plan against the backend that executes it"
+            )
+        token = view._token if isinstance(view, _ShardedView) else None
+        return (token, view.matrix, view.offset)
+
+    def _compile_plan(self, plan: QueryPlan) -> _CompiledPlan:
+        """Compile a :class:`~repro.neighbors.base.QueryPlan` to wire form.
+
+        Validation (view ownership, centre dimensions, row ranges) happens
+        here, in the parent, so workers only ever see well-formed payloads.
+        """
+        views = plan.views
+        views_wire = [self._view_wire(view) for view in views]
+        selection_specs = [self._selection_specs(selection)
+                           for selection in plan.selections]
+        bundle: List[tuple] = []
+        merges: List[tuple] = []
+        for query in plan.queries:
+            op = query.op
+            if op == "capped_average_scores":
+                merges.append((op, None, query.args))
+                continue
+            if op == "count_within_many":
+                centers, radii = query.args
+                centers = check_points(centers, dimension=self.dimension,
+                                       name="centers")
+                payload = None if centers is self._points else centers
+                merges.append((op, len(bundle), None))
+                bundle.append((op, None, None, (payload, radii)))
+                continue
+            view_slot = query.view_slot
+            if op == "heaviest_cell_counts":
+                width, shifts = query.args
+                top_k = getattr(self, "HEAVIEST_CELL_TOP_K", None)
+                top_k = int(top_k) if top_k else None
+                merges.append((op, len(bundle),
+                               (views_wire[view_slot], width, shifts, top_k)))
+                bundle.append((op, view_slot, None, (width, shifts, top_k)))
+                continue
+            if op == "axis_interval_labels":
+                width, axis_offset, rows = query.args
+                if rows is None:
+                    merges.append((op, len(bundle), None))
+                    bundle.append((op, view_slot, None,
+                                   (width, axis_offset, None)))
+                else:
+                    order, slices = _split_rows_by_shard(
+                        self._check_global_rows(rows), self._bounds
+                    )
+                    merges.append((op, len(bundle), order))
+                    bundle.append((op, view_slot, None,
+                                   [(width, axis_offset, piece)
+                                    for piece in slices]))
+                continue
+            if op == "cell_histogram":
+                width, shifts, want_inverse = query.args
+                merges.append((op, len(bundle), want_inverse))
+                bundle.append((op, view_slot, None, query.args))
+                continue
+            # Masked aggregates: the merge needs the image dimension of the
+            # queried view.
+            matrix = views[view_slot].matrix
+            image_dimension = (int(matrix.shape[0]) if matrix is not None
+                               else self.dimension)
+            merges.append((op, len(bundle), image_dimension))
+            bundle.append((op, view_slot, query.selection_slot, query.args))
+        return _CompiledPlan(views_wire, selection_specs, bundle, merges)
+
+    def _merge_plan(self, compiled: _CompiledPlan,
+                    shard_parts: List[list]) -> list:
+        """Fold per-shard plan partials into per-query results (shard order,
+        deterministic) and evaluate the coordinator operations."""
+        results: List[object] = []
+        for op, bundle_index, extra in compiled.merges:
+            if op == "capped_average_scores":
+                radii, target, streaming = extra
+                results.append(self.capped_average_scores(
+                    radii, target, streaming=streaming
+                ))
+                continue
+            parts = [shard[bundle_index] for shard in shard_parts]
+            if op == "count_within_many":
+                results.append(np.sum(parts, axis=0, dtype=np.int64))
+            elif op == "masked_count":
+                results.append(int(sum(parts)))
+            elif op == "masked_sum":
+                results.append(_merge_masked_sum(parts))
+            elif op == "masked_minmax":
+                results.append(_merge_minmax(parts, extra))
+            elif op == "masked_clipped_sum":
+                count = int(sum(part[0] for part in parts))
+                totals = merge_fixed_point([part[1] for part in parts])
+                results.append(ClippedSum(
+                    count=count,
+                    vector_sum=np.asarray(
+                        [fixed_point_to_float(total) for total in totals],
+                        dtype=float,
+                    ),
+                ))
+            elif op == "masked_axis_histograms":
+                results.append(_merge_axis_histograms(parts, extra))
+            elif op == "heaviest_cell_counts":
+                view_wire, width, shifts, top_k = extra
+                results.append(self._heaviest_cell_merge(
+                    view_wire, width, shifts, top_k, first_parts=parts
+                ))
+            elif op == "cell_histogram":
+                results.append(_merge_cell_histogram(
+                    parts, self._bounds, self.num_points, extra
+                ))
+            elif op == "axis_interval_labels":
+                stacked = np.concatenate(parts, axis=0)
+                if extra is None:
+                    results.append(stacked)
+                else:
+                    restored = np.empty_like(stacked)
+                    restored[extra] = stacked
+                    results.append(restored)
+            else:  # pragma: no cover - _compile_plan covers every op
+                raise ValueError(f"unknown plan operation {op!r}")
+        return results
+
+    def execute(self, plan: QueryPlan) -> list:
+        """Run a :class:`~repro.neighbors.base.QueryPlan` in **one round
+        trip per shard**: the whole bundle travels to each shard as a
+        single ``execute_plan`` task, each shard derives every selection's
+        membership and every view's image at most once, and the parent
+        merges the partials in shard order — bitwise what the serial loop
+        produces.  (The one exception is a plan carrying a
+        ``heaviest_cell_counts`` query whose bounded top-``k`` merge fails
+        to certify: the exact recount adds fan-outs, exactly as it does for
+        the standalone query.)
+        """
+        return self.submit(plan).result()
+
+    def submit(self, plan: QueryPlan) -> PlanFuture:
+        """Dispatch a plan's per-shard tasks without waiting.
+
+        The returned future's :meth:`~repro.neighbors.base.PlanFuture.result`
+        merges in shard order, so overlapped plans resolve to bitwise the
+        same values as sequential :meth:`execute` calls.  On the serial
+        fallback the plan is evaluated eagerly (same shard/merge code, no
+        transport) and a completed future is returned.
+        """
+        compiled = self._compile_plan(plan)
+        self._stats["plans"] += 1
+        if not compiled.bundle:
+            # Coordinator-only plan: nothing to fan out.
+            return PlanFuture(self._merge_plan(compiled, []))
+        self._stats["fanouts"] += 1
+        self._stats["shard_tasks"] += self.num_shards
+        executors = self._ensure_executors()
+        if executors is None:
+            shard_parts = [
+                self._shards.execute_plan(shard, *compiled.shard_args(shard))
+                for shard in range(self.num_shards)
+            ]
+            return PlanFuture(self._merge_plan(compiled, shard_parts))
+        try:
+            futures = [
+                self._submit_shard_task(executors, "execute_plan", shard,
+                                        compiled.shard_args(shard))
+                for shard in range(self.num_shards)
+            ]
+        except (BrokenProcessPool, OSError) as error:  # pragma: no cover
+            self._pool_failed = True
+            self.close()
+            warnings.warn(
+                f"ShardedBackend worker pool died ({error}); running the "
+                "plan on the serial in-process path",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            shard_parts = [
+                self._shards.execute_plan(shard, *compiled.shard_args(shard))
+                for shard in range(self.num_shards)
+            ]
+            return PlanFuture(self._merge_plan(compiled, shard_parts))
+        return _ShardedPlanFuture(self, compiled, futures)
+
+    def _heaviest_cell_merge(self, view_args: tuple, width: float,
+                             shifts: np.ndarray, top_k: Optional[int],
+                             first_parts: Optional[list] = None) -> np.ndarray:
+        """The bounded heaviest-cell merge (shared by the standalone view
+        query and the fused plan path).
+
+        Each shard returns only its ``top_k`` heaviest cells plus a cap (its
+        ``top_k``-th largest count, bounding every truncated cell), so the
+        parent's scratch is ``O(shards * top_k)`` per attempt instead of the
+        total occupied-box count.  The merge is then made exact again by
+        *recounting*: the union of the shards' candidate cells is shipped
+        back and every shard reports its exact occupancy of each candidate,
+        giving exact global counts for all candidates.  A candidate max
+        ``>= sum of caps`` certifies that no truncated cell can beat it —
+        the returned maxima (and hence AboveThreshold's query stream) are
+        bitwise the full merge's.  Uncertified attempts retry with ``top_k``
+        escalated 4x (reaching the untruncated merge in the worst case), so
+        termination is unconditional.  ``first_parts`` seeds round 1 with
+        partials that already arrived inside a fused plan task.
+        """
+        maxima = np.zeros(shifts.shape[0], dtype=np.int64)
+        unresolved = np.arange(shifts.shape[0])
+        while unresolved.size:
+            if first_parts is not None:
+                parts = first_parts
+                first_parts = None
+            else:
+                parts = self._map_shards(
+                    "view_heaviest_cells",
+                    (*view_args, float(width), shifts[unresolved], top_k),
+                )
+            recount_slots = []
+            candidates = []
+            bounds = []
+            for slot, attempt in enumerate(unresolved):
+                caps = [int(part[slot][2]) for part in parts]
+                bound = sum(caps)
+                labels = np.concatenate([part[slot][0] for part in parts],
+                                        axis=0)
+                if bound == 0:
+                    # No shard truncated: the per-shard counts are complete
+                    # and the summed merge is already exact.
+                    counts = np.concatenate([part[slot][1] for part in parts])
+                    _, inverse = np.unique(labels, axis=0,
+                                           return_inverse=True)
+                    merged = np.bincount(np.reshape(inverse, -1),
+                                         weights=counts)
+                    maxima[attempt] = int(merged.max())
+                    continue
+                recount_slots.append(slot)
+                candidates.append(np.unique(labels, axis=0))
+                bounds.append(bound)
+            still = []
+            if recount_slots:
+                slots = np.asarray(recount_slots)
+                exact_parts = self._map_shards(
+                    "view_count_labels",
+                    (*view_args, float(width),
+                     shifts[unresolved[slots]], candidates),
+                )
+                for position, slot in enumerate(recount_slots):
+                    exact = np.sum([part[position] for part in exact_parts],
+                                   axis=0, dtype=np.int64)
+                    best = int(exact.max())
+                    attempt = int(unresolved[slot])
+                    if best >= bounds[position]:
+                        maxima[attempt] = best
+                    else:
+                        still.append(attempt)
+            unresolved = np.asarray(still, dtype=np.int64)
+            if unresolved.size:
+                top_k = (None if top_k is None or 4 * top_k >= self.num_points
+                         else 4 * top_k)
+        return maxima
+
 
 class _ShardedView(ProjectedView):
     """Fan-out implementation of :class:`ProjectedView` for the sharded
@@ -856,74 +1570,16 @@ class _ShardedView(ProjectedView):
         return (self._token, self._matrix, self._offset)
 
     def heaviest_cell_counts(self, width: float, shifts) -> np.ndarray:
-        """Heaviest-box occupancy per attempt, via the *bounded* merge.
-
-        Each shard returns only its ``HEAVIEST_CELL_TOP_K`` heaviest cells
-        plus a cap (its ``top_k``-th largest count, bounding every truncated
-        cell), so the parent's scratch is ``O(shards * top_k)`` per attempt
-        instead of the total occupied-box count.  The merge is then made
-        exact again by *recounting*: the union of the shards' candidate
-        cells is shipped back and every shard reports its exact occupancy of
-        each candidate, giving exact global counts for all candidates.  A
-        candidate max ``>= sum of caps`` certifies that no truncated cell
-        can beat it — the returned maxima (and hence AboveThreshold's query
-        stream) are bitwise the full merge's.  Uncertified attempts retry
-        with ``top_k`` escalated 4x (reaching the untruncated merge in the
-        worst case), so termination is unconditional.
-        """
+        """Heaviest-box occupancy per attempt, via the *bounded* merge (see
+        :meth:`ShardedBackend._heaviest_cell_merge` — the shared
+        top-``k``-with-exact-recount loop, whose returned maxima are bitwise
+        the full merge's)."""
         shifts = self._check_shifts(shifts, batched=True)
-        maxima = np.zeros(shifts.shape[0], dtype=np.int64)
         top_k = getattr(self._backend, "HEAVIEST_CELL_TOP_K", None)
         top_k = int(top_k) if top_k else None
-        unresolved = np.arange(shifts.shape[0])
-        while unresolved.size:
-            parts = self._backend._map_shards(
-                "view_heaviest_cells",
-                (*self._view_args(), float(width), shifts[unresolved], top_k),
-            )
-            recount_slots = []
-            candidates = []
-            bounds = []
-            for slot, attempt in enumerate(unresolved):
-                caps = [int(part[slot][2]) for part in parts]
-                bound = sum(caps)
-                labels = np.concatenate([part[slot][0] for part in parts],
-                                        axis=0)
-                if bound == 0:
-                    # No shard truncated: the per-shard counts are complete
-                    # and the summed merge is already exact.
-                    counts = np.concatenate([part[slot][1] for part in parts])
-                    _, inverse = np.unique(labels, axis=0,
-                                           return_inverse=True)
-                    merged = np.bincount(np.reshape(inverse, -1),
-                                         weights=counts)
-                    maxima[attempt] = int(merged.max())
-                    continue
-                recount_slots.append(slot)
-                candidates.append(np.unique(labels, axis=0))
-                bounds.append(bound)
-            still = []
-            if recount_slots:
-                slots = np.asarray(recount_slots)
-                exact_parts = self._backend._map_shards(
-                    "view_count_labels",
-                    (*self._view_args(), float(width),
-                     shifts[unresolved[slots]], candidates),
-                )
-                for position, slot in enumerate(recount_slots):
-                    exact = np.sum([part[position] for part in exact_parts],
-                                   axis=0, dtype=np.int64)
-                    best = int(exact.max())
-                    attempt = int(unresolved[slot])
-                    if best >= bounds[position]:
-                        maxima[attempt] = best
-                    else:
-                        still.append(attempt)
-            unresolved = np.asarray(still, dtype=np.int64)
-            if unresolved.size:
-                top_k = (None if top_k is None or 4 * top_k >= self.num_points
-                         else 4 * top_k)
-        return maxima
+        return self._backend._heaviest_cell_merge(
+            self._view_args(), float(width), shifts, top_k
+        )
 
     def label_array(self, width: float, shifts) -> np.ndarray:
         shifts = self._check_shifts(shifts, batched=False)
@@ -939,33 +1595,8 @@ class _ShardedView(ProjectedView):
             "view_cell_histogram",
             (*self._view_args(), float(width), shifts, bool(return_inverse)),
         )
-        bounds = self._backend.shard_bounds
-        all_labels = np.concatenate([part[0] for part in parts], axis=0)
-        all_counts = np.concatenate([part[1] for part in parts])
-        all_firsts = np.concatenate([
-            part[2] + low for part, (low, _) in zip(parts, bounds)
-        ])
-        unique, group = np.unique(all_labels, axis=0, return_inverse=True)
-        group = np.reshape(group, -1)      # global group of each shard-unique
-        counts = np.bincount(group, weights=all_counts,
-                             minlength=unique.shape[0]).astype(np.int64)
-        first = np.full(unique.shape[0], self.num_points, dtype=np.int64)
-        np.minimum.at(first, group, all_firsts)
-        order = np.argsort(first, kind="stable")
-        if not return_inverse:
-            return unique[order], counts[order]
-        # Per-point positions: each shard's local group ids index into its
-        # slice of the concatenated uniques, whose global groups are in
-        # `group`; remap those through the first-occurrence ordering.
-        position = np.empty(order.shape[0], dtype=np.int64)
-        position[order] = np.arange(order.shape[0], dtype=np.int64)
-        point_positions = []
-        offset = 0
-        for part in parts:
-            shard_groups = group[offset:offset + part[0].shape[0]]
-            point_positions.append(position[shard_groups[part[3]]])
-            offset += part[0].shape[0]
-        return unique[order], counts[order], np.concatenate(point_positions)
+        return _merge_cell_histogram(parts, self._backend.shard_bounds,
+                                     self.num_points, bool(return_inverse))
 
     def label_mask(self, width: float, shifts, label) -> np.ndarray:
         label = np.asarray(label, dtype=np.int64).reshape(-1)
@@ -993,14 +1624,10 @@ class _ShardedView(ProjectedView):
         # Ship each shard only its own (shard-local) slice of the subset;
         # results come back shard-major, i.e. in ascending-row order, so a
         # stable argsort restores the caller's row order afterwards.
-        order = np.argsort(rows, kind="stable")
-        sorted_rows = rows[order]
-        per_shard = []
-        for low, high in self._backend.shard_bounds:
-            lo = np.searchsorted(sorted_rows, low, side="left")
-            hi = np.searchsorted(sorted_rows, high, side="left")
-            per_shard.append((*self._view_args(), float(width),
-                              float(offset), sorted_rows[lo:hi] - low))
+        order, slices = _split_rows_by_shard(rows,
+                                             self._backend.shard_bounds)
+        per_shard = [(*self._view_args(), float(width), float(offset), piece)
+                     for piece in slices]
         parts = self._backend._map_shards_per("view_axis_labels", per_shard)
         stacked = np.concatenate(parts, axis=0)
         result = np.empty_like(stacked)
@@ -1011,45 +1638,10 @@ class _ShardedView(ProjectedView):
     # Masked aggregation (fan-out partials, exact merges)
     # ------------------------------------------------------------------ #
     def _selection_specs(self, selection) -> List[tuple]:
-        """Per-shard wire specs of a masked-query selection.
-
-        A :class:`~repro.neighbors.base.BoxSelection` ships as its *label
-        predicate* — ``(selecting view's cache token / matrix / offset,
-        width, shifts, label)``, identical for every shard; each worker
-        re-derives its own membership from its cached image of the selecting
-        view, so no ``O(n)`` mask or row list ever crosses the wire (or
-        exists in the parent).  Row/mask selections are normalised to
-        ascending global rows and sliced so each shard receives only its own
-        (shard-local) segment.
-        """
-        if isinstance(selection, BoxSelection):
-            view = selection.view
-            if view.backend is not self.backend:
-                raise ValueError(
-                    "the BoxSelection was built over a different backend's "
-                    "view; selections only transfer between views of the "
-                    "same backend"
-                )
-            token = view._token if isinstance(view, _ShardedView) else None
-            spec = ("box", token, view.matrix, view.offset,
-                    float(selection.width), selection.shifts, selection.label)
-            return [spec] * self._backend.num_shards
-        array = np.asarray(selection)
-        if array.dtype == np.bool_:
-            if array.shape != (self.num_points,):
-                raise ValueError(
-                    f"boolean selection must have shape ({self.num_points},),"
-                    f" got {array.shape}"
-                )
-            rows = np.flatnonzero(array)
-        else:
-            rows = np.sort(self._check_rows(array), kind="stable")
-        specs = []
-        for low, high in self._backend.shard_bounds:
-            lo = np.searchsorted(rows, low, side="left")
-            hi = np.searchsorted(rows, high, side="left")
-            specs.append(("rows", rows[lo:hi] - low))
-        return specs
+        """Per-shard wire specs of a masked-query selection (see
+        :meth:`ShardedBackend._selection_specs` — shared with the fused plan
+        compiler, so a selection travels identically alone or in a plan)."""
+        return self._backend._selection_specs(selection)
 
     def _masked_parts(self, method: str, selection, *args) -> list:
         specs = self._selection_specs(selection)
@@ -1067,20 +1659,11 @@ class _ShardedView(ProjectedView):
 
     def masked_sum(self, selection) -> np.ndarray:
         parts = self._masked_parts("view_masked_sum", selection)
-        totals = merge_fixed_point([part[1] for part in parts])
-        return np.asarray([fixed_point_to_float(total) for total in totals],
-                          dtype=float)
+        return _merge_masked_sum(parts)
 
     def masked_minmax(self, selection) -> np.ndarray:
         parts = self._masked_parts("view_masked_minmax", selection)
-        k = self.image_dimension
-        merged = np.vstack([np.full(k, np.inf), np.full(k, -np.inf)])
-        for part in parts:
-            if part is None:
-                continue
-            merged[0] = np.minimum(merged[0], part[0])
-            merged[1] = np.maximum(merged[1], part[1])
-        return merged
+        return _merge_minmax(parts, self.image_dimension)
 
     def masked_clipped_partial(self, selection, center,
                                clip_radius: float) -> Tuple[int, List[int]]:
@@ -1098,38 +1681,11 @@ class _ShardedView(ProjectedView):
     def masked_axis_histograms(self, selection, width: float,
                                offset: float = 0.0) -> list:
         """Per-axis histograms with the global first-occurrence cell order
-        restored from the shards' local first positions: shard ``s``'s
-        positions are offset by the selected-row counts of shards
-        ``0..s-1`` (the shards partition the ascending selected sequence),
-        then the per-axis 1-d merges follow :meth:`cell_histogram`'s
-        min-first / stable-argsort recipe."""
+        restored from the shards' local first positions (see
+        :func:`_merge_axis_histograms`, shared with the fused plan path)."""
         parts = self._masked_parts("view_masked_axis_hists", selection,
                                    float(width), float(offset))
-        k = self.image_dimension
-        merged = []
-        for axis in range(k):
-            all_labels = []
-            all_counts = []
-            all_firsts = []
-            position_offset = 0
-            for local_count, per_axis in parts:
-                labels, counts, firsts = per_axis[axis]
-                all_labels.append(labels)
-                all_counts.append(counts)
-                all_firsts.append(firsts + position_offset)
-                position_offset += int(local_count)
-            labels = np.concatenate(all_labels)
-            counts = np.concatenate(all_counts)
-            firsts = np.concatenate(all_firsts)
-            unique, group = np.unique(labels, return_inverse=True)
-            summed = np.bincount(group, weights=counts,
-                                 minlength=unique.shape[0]).astype(np.int64)
-            first = np.full(unique.shape[0], np.iinfo(np.int64).max,
-                            dtype=np.int64)
-            np.minimum.at(first, group, firsts)
-            order = np.argsort(first, kind="stable")
-            merged.append((unique[order], summed[order]))
-        return merged
+        return _merge_axis_histograms(parts, self.image_dimension)
 
 
 __all__ = ["ShardedBackend"]

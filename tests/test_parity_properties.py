@@ -257,6 +257,81 @@ class TestViewParity:
             assert np.array_equal(got, reference), (name, scenario)
 
 
+@pytest.mark.slow
+class TestPlanSubmitDeterminism:
+    """Async plan submission is bitwise deterministic: any number of
+    overlapped ``submit`` calls, resolved in any order, return exactly what
+    a synchronous ``execute`` returns — which itself bitwise matches the
+    dense backend's direct evaluation, across scenarios, shard counts and
+    selection kinds."""
+
+    @SETTINGS
+    @given(case=datasets, image_dim=st.integers(min_value=1, max_value=3))
+    def test_overlapped_submissions_bitwise_equal(self, case, image_dim):
+        from repro.neighbors import QueryPlan
+
+        scenario, n, d, seed, shards = case
+        points = build_points(scenario, n, d, seed)
+        rng = np.random.default_rng(seed + 6)
+        matrix = rng.normal(size=(image_dim, d))
+        basis = rng.normal(size=(d, d))
+        width = float(rng.uniform(0.1, 1.5))
+        shifts = rng.uniform(0.0, width, size=image_dim)
+        labels = box_labels(project_rows(points, matrix), shifts, width)
+        unique, counts = np.unique(labels, axis=0, return_counts=True)
+        chosen = unique[int(np.argmax(counts))]
+        centers = points[:: max(1, n // 4)]
+        radii = np.asarray([0.0, float(rng.uniform(0.0, 3.0))])
+
+        def build(backend):
+            search = backend.view(matrix)
+            frame = backend.view(basis)
+            selection = search.box_selection(width, shifts, chosen)
+            plan = QueryPlan()
+            slots = (
+                plan.masked_count(frame, selection),
+                plan.masked_sum(frame, selection),
+                plan.masked_axis_histograms(frame, selection, 0.5),
+                plan.masked_clipped_sum(frame, selection, np.zeros(d), 1.0),
+                plan.cell_histogram(search, width, shifts),
+                plan.heaviest_cell_counts(search, width,
+                                          shifts[None, :]),
+                plan.count_within_many(centers, radii),
+            )
+            return plan, slots
+
+        dense = DenseBackend(points)
+        reference_plan, slots = build(dense)
+        reference = dense.execute(reference_plan)
+        for backend in (ChunkedBackend(points),
+                        ShardedBackend(points, num_shards=shards,
+                                       num_workers=0)):
+            plan, other_slots = build(backend)
+            assert other_slots == slots
+            synchronous = backend.execute(plan)
+            futures = [backend.submit(plan) for _ in range(2)]
+            for future in reversed(futures):
+                resolved = future.result()
+                for slot in slots:
+                    got, sync, expected = (resolved[slot], synchronous[slot],
+                                           reference[slot])
+                    if slot == slots[0]:          # masked_count
+                        assert got == sync == expected
+                    elif slot == slots[2]:        # per-axis histograms
+                        for (gl, gc), (el, ec) in zip(got, expected):
+                            assert np.array_equal(gl, el)
+                            assert np.array_equal(gc, ec)
+                    elif slot == slots[3]:        # clipped statistics
+                        assert got.count == expected.count
+                        assert np.array_equal(got.vector_sum,
+                                              expected.vector_sum)
+                    elif slot == slots[4]:        # cell histogram
+                        for g, e in zip(got, expected):
+                            assert np.array_equal(g, e)
+                    else:
+                        assert np.array_equal(got, expected)
+
+
 class TestViewValidation:
     def test_matrix_shape_rejected(self):
         backend = DenseBackend(np.zeros((4, 3)))

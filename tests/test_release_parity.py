@@ -198,6 +198,37 @@ class TestRotatedStageMigration:
                             True)
 
 
+class TestFusedPlanSeam:
+    """The PR 5 migration seam: with a backend, every GoodCenter stage rides
+    a fused :class:`~repro.neighbors.QueryPlan` (one round trip per shard
+    per stage).  Disabling the seam forces the PR 4 per-query fan-outs;
+    because plans change transport only — the serial evaluator runs the
+    identical primitives and the sharded merges are the same shard-order
+    folds — flipping the flag must not move a byte of any release, on
+    either projection path, on every backend."""
+
+    def test_release_byte_identical_with_and_without_plans(
+            self, medium_cluster_data, jl_cluster_points, neighbor_backend,
+            monkeypatch):
+        cases = [
+            (medium_cluster_data.points, 0.05, 400, LOOSE, None),
+            (jl_cluster_points, 0.1, 700, GENEROUS, JL_CONFIG),
+        ]
+        for points, radius, target, params, config in cases:
+            backend = neighbor_backend(points)
+            fused = good_center(points, radius=radius, target=target,
+                                params=params, config=config, rng=7,
+                                backend=backend)
+            monkeypatch.setattr(good_center_module, "_FUSED_QUERY_PLANS",
+                                False)
+            unfused = good_center(points, radius=radius, target=target,
+                                  params=params, config=config, rng=7,
+                                  backend=backend)
+            monkeypatch.setattr(good_center_module, "_FUSED_QUERY_PLANS",
+                                True)
+            assert_same_center_release(fused, unfused)
+
+
 class TestGoodRadiusReleaseParity:
     def test_release_identical(self, small_cluster_data, loose_params,
                                neighbor_backend):

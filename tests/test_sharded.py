@@ -243,6 +243,76 @@ class TestProcessPool:
                 expected_axis,
             )
 
+    def test_query_plan_pool(self):
+        """A fused plan over a real pool: the whole bundle is one
+        ``execute_plan`` task per shard, overlapped submissions resolve to
+        bitwise the in-parent references, and ``pool_stats`` shows each
+        shard's lazily built state pinned to exactly one worker (the
+        shard→worker routing affinity)."""
+        from repro.geometry.boxes import box_labels
+        from repro.geometry.jl import project_rows
+        from repro.neighbors import QueryPlan
+
+        rng = np.random.default_rng(8)
+        points = rng.normal(size=(240, 6))
+        matrix = rng.normal(size=(3, 6))
+        basis = rng.normal(size=(6, 6))
+        width = 0.9
+        shifts = rng.uniform(0.0, width, size=3)
+        labels = box_labels(project_rows(points, matrix), shifts, width)
+        unique, counts = np.unique(labels, axis=0, return_counts=True)
+        chosen = unique[int(np.argmax(counts))]
+        rows = np.flatnonzero(np.all(labels == chosen[None, :], axis=1))
+        dense = DenseBackend(points)
+        dense_frame = dense.view(basis)
+        expected_sum = dense_frame.masked_sum(rows)
+        expected_hists = dense_frame.masked_axis_histograms(rows, 0.4)
+        expected_grid = dense.count_within_many(points[:6], [0.3, 1.2])
+        with ShardedBackend(points, num_shards=4, num_workers=2) as backend:
+            search = backend.view(matrix)
+            frame = backend.view(basis)
+            selection = search.box_selection(width, shifts, chosen)
+
+            def build():
+                plan = QueryPlan()
+                slots = (
+                    plan.masked_count(frame, selection),
+                    plan.masked_sum(frame, selection),
+                    plan.masked_axis_histograms(frame, selection, 0.4),
+                    plan.count_within_many(points[:6], [0.3, 1.2]),
+                )
+                return plan, slots
+
+            plan, slots = build()
+            before = backend.pool_stats()
+            # Two plans in flight at once, resolved in reverse order.
+            first = backend.submit(plan)
+            second = backend.submit(plan)
+            for future in (second, first):
+                results = future.result()
+                count, total, hists, grid = (results[s] for s in slots)
+                assert count == rows.shape[0]
+                assert np.array_equal(total, expected_sum)
+                for (gl, gc), (el, ec) in zip(hists, expected_hists):
+                    assert np.array_equal(gl, el)
+                    assert np.array_equal(gc, ec)
+                assert np.array_equal(grid, expected_grid)
+            after = backend.pool_stats()
+            assert after["parallel"] is True
+            assert after["plans"] - before["plans"] == 2
+            assert after["fanouts"] - before["fanouts"] == 2
+            assert after["shard_tasks"] - before["shard_tasks"] == 8
+            # Affinity: every shard's index/caches live in exactly one
+            # worker, and with 2 workers the round-robin split is 0,2 / 1,3.
+            built = [worker["built_shards"] for worker in after["workers"]]
+            flattened = sorted(shard for shards in built for shard in shards)
+            assert flattened == sorted(set(flattened))
+            selections = [worker["cached_selections"]
+                          for worker in after["workers"]]
+            assert sorted(s for group in selections for s in group) == [
+                0, 1, 2, 3
+            ]
+
     def test_masked_aggregates_pool(self):
         """Masked aggregate queries over a real pool: the BoxSelection label
         predicate ships to the workers, each shard re-derives its own
