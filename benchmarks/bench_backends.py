@@ -17,23 +17,32 @@ Run directly::
         --seed-max 0 --workers 8 # sharded backend on an 8-way pool
     PYTHONPATH=src python benchmarks/bench_backends.py --large-target \
         --sizes 20000            # t = 0.9 n memory/latency profile
+    PYTHONPATH=src python benchmarks/bench_backends.py --json
+                                 # persisted trajectory -> BENCH_backends.json
 
 ``--end-to-end`` additionally runs the private ``good_radius`` release itself
 per backend, demonstrating the n = 20k, d = 2 case that was out of reach for
 the seed's dense matrix.  ``--large-target`` switches to the outlier-screening
 profile (``t = 0.9 n``): it reports wall-clock *and* tracemalloc peak memory
 for the persisted ``O(n*t)`` statistic versus the radii-chunked streaming
-walk, which stays ``O(n * block)`` at every target.
+walk, which stays ``O(n * block)`` at every target.  ``--json`` writes the
+*persisted benchmark trajectory* — distance-slab kernel timings at each size
+plus one sharded ``good_center`` release recording wall time, collective
+round trips, speculation hit rate, the active kernel mode and parent peak
+memory — to ``BENCH_backends.json`` (CI uploads it as an artifact, so the
+numbers accumulate a history across commits).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import time
 import tracemalloc
 
 import numpy as np
 
+from repro import kernels
 from repro.accounting.params import PrivacyParams
 from repro.core.good_radius import good_radius
 from repro.datasets.synthetic import planted_cluster
@@ -43,6 +52,16 @@ from repro.geometry.grid import GridDomain
 from repro.neighbors import BACKENDS, auto_backend
 
 DIMENSION = 2
+
+#: Default sizes of the ``--json`` trajectory (the distance-slab
+#: microbenchmark sizes the kernel speedups are tracked at).
+JSON_SIZES = (20000, 100000)
+
+#: The end-to-end release config is capped at this n so the JSON run stays
+#: minutes, not hours, on small CI machines (the slab microbenchmark is the
+#: size-sensitive kernel probe; the release config tracks round trips and
+#: speculation, which do not grow with n).
+JSON_RELEASE_CAP = 20000
 
 
 def make_backend(name: str, points: np.ndarray, workers):
@@ -386,10 +405,161 @@ def bench_good_center_rotated(n: int, rng_seed: int, workers=None) -> list:
     return rows
 
 
+def parent_peak_rss_mib() -> float:
+    """This process's lifetime peak resident set, in MiB (NaN off-POSIX)."""
+    try:
+        import resource
+    except ImportError:                      # pragma: no cover - non-POSIX
+        return float("nan")
+    import sys
+
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    if sys.platform == "darwin":             # pragma: no cover
+        return usage / (1024.0 * 1024.0)
+    return usage / 1024.0
+
+
+def speculation_summary(stats: dict) -> dict:
+    """Collapse ``pool_stats()['speculation']`` into a JSON-friendly record."""
+    stages = {stage: dict(counters)
+              for stage, counters in stats.get("speculation", {}).items()}
+    hits = sum(int(c["hits"]) for c in stages.values())
+    misses = sum(int(c["misses"]) for c in stages.values())
+    total = hits + misses
+    return {
+        "stages": stages,
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": (hits / total) if total else None,
+    }
+
+
+def bench_json_distance_slab(n: int, rng_seed: int, repeats: int = 3) -> dict:
+    """Time one full blocked distance slab — the kernel every backend's
+    ``O(n^2)`` neighbor work decomposes into — under the active kernel set.
+
+    The query block is sized by :func:`~repro.neighbors._distance.
+    row_block_size`, i.e. exactly the slab shape the chunked/sharded walks
+    issue, and the best of ``repeats`` runs is reported (first a small
+    warm-up call absorbs any JIT compilation).
+    """
+    from repro.neighbors._distance import row_block_size
+
+    rng = np.random.default_rng(rng_seed)
+    data = rng.uniform(0.0, 1.0, size=(n, DIMENSION))
+    block = row_block_size(n, DIMENSION)
+    queries = data[:block]
+    kernels.squared_distance_slab(queries[:64], data[:256])   # warm: JIT
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        slab = kernels.squared_distance_slab(queries, data)
+        best = min(best, time.perf_counter() - start)
+    return {
+        "bench": "distance_slab",
+        "n": n,
+        "d": DIMENSION,
+        "block_rows": int(queries.shape[0]),
+        "repeats": repeats,
+        "seconds": best,
+        "pairs_per_second": queries.shape[0] * n / best,
+        "kernel_mode": kernels.KERNEL_MODE,
+        "checksum": float(slab[0].sum()),
+    }
+
+
+def bench_json_release(n: int, rng_seed: int, workers=None) -> dict:
+    """One sharded ``good_center`` release on the JL + rotated-axis path.
+
+    Records the quantities the JSON trajectory tracks over time: wall
+    seconds, collective round trips, fused-plan count, per-stage speculation
+    counters (and overall hit rate), the active kernel mode, and the parent
+    process's peak memory (tracemalloc for the call, lifetime RSS for the
+    process).
+    """
+    from repro.core.config import GoodCenterConfig
+    from repro.core.good_center import good_center
+
+    dimension = 16
+    target = n // 2
+    config = GoodCenterConfig(jl_constant=0.3)
+    data = planted_cluster(n=n, d=dimension, cluster_size=int(0.6 * n),
+                           cluster_radius=0.05,
+                           center=[0.5] * dimension, rng=rng_seed)
+    backend = make_backend("sharded", data.points, workers)
+    try:
+        backend.radius_counts(0.01)            # warm: pool + shared memory
+        warm_fanouts = backend.pool_stats()["fanouts"]
+        tracemalloc.start()
+        start = time.perf_counter()
+        result = good_center(data.points, radius=0.05, target=target,
+                             params=PrivacyParams(8.0, 1e-5), config=config,
+                             rng=5, backend=backend)
+        wall = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        stats = backend.pool_stats()
+    finally:
+        backend.close()
+    return {
+        "bench": "good_center_sharded",
+        "n": n,
+        "d": dimension,
+        "target": target,
+        "found": bool(result.found),
+        "wall_seconds": wall,
+        "round_trips": int(stats["fanouts"] - warm_fanouts),
+        "plans": int(stats["plans"]),
+        "kernel_mode": stats["kernel_mode"],
+        "speculation": speculation_summary(stats),
+        "parent_peak_tracemalloc_mb": peak / 1e6,
+        "parent_peak_rss_mib": parent_peak_rss_mib(),
+    }
+
+
+def run_json(args) -> None:
+    """``--json``: write the persisted benchmark trajectory and print a recap."""
+    configs = []
+    for n in args.sizes:
+        print(f"timing distance slab at n={n} "
+              f"(kernel mode: {kernels.KERNEL_MODE}) ...", flush=True)
+        configs.append(bench_json_distance_slab(n, args.rng))
+    release_n = min(min(args.sizes), JSON_RELEASE_CAP)
+    print(f"running sharded good_center release at n={release_n}, d=16 ...",
+          flush=True)
+    configs.append(bench_json_release(release_n, args.rng, args.workers))
+    payload = {
+        "schema": 1,
+        "generated_by": "benchmarks/bench_backends.py --json",
+        "kernel": kernels.kernel_info(),
+        "sizes": list(args.sizes),
+        "configs": configs,
+    }
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {args.json}")
+    for config in configs:
+        if config["bench"] == "distance_slab":
+            print(f"  distance_slab        n={config['n']:>7}: "
+                  f"{config['seconds']:.4f}s  "
+                  f"({config['pairs_per_second']:.3g} pairs/s, "
+                  f"{config['kernel_mode']})")
+        else:
+            rate = config["speculation"]["hit_rate"]
+            rate_text = "n/a" if rate is None else f"{rate:.2f}"
+            print(f"  good_center_sharded  n={config['n']:>7}: "
+                  f"{config['wall_seconds']:.3f}s, "
+                  f"{config['round_trips']} round trips, "
+                  f"speculation hit rate {rate_text}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--sizes", type=int, nargs="+",
-                        default=[1000, 5000, 20000])
+    parser.add_argument("--sizes", type=int, nargs="+", default=None,
+                        help="problem sizes (default 1000 5000 20000; with "
+                             "--json, 20000 100000)")
     parser.add_argument("--seed-max", type=int, default=20000,
                         help="largest n at which the O(n^2)-memory seed "
                              "reference is run (lower this on small machines)")
@@ -419,8 +589,22 @@ def main() -> None:
     parser.add_argument("--attempts", type=int, default=64,
                         help="partition-search attempts timed per mode in "
                              "--good-center-jl")
+    parser.add_argument("--json", nargs="?", const="BENCH_backends.json",
+                        default=None, metavar="PATH",
+                        help="write the persisted benchmark trajectory to "
+                             "PATH (default BENCH_backends.json): distance-"
+                             "slab kernel timings per size plus one sharded "
+                             "good_center release with wall time, round "
+                             "trips, speculation hit rate, kernel mode and "
+                             "parent peak memory")
     parser.add_argument("--rng", type=int, default=0)
     args = parser.parse_args()
+    if args.sizes is None:
+        args.sizes = list(JSON_SIZES) if args.json else [1000, 5000, 20000]
+
+    if args.json:
+        run_json(args)
+        return
 
     if args.good_center_rotated:
         all_rows = []

@@ -17,6 +17,7 @@ from repro.core.config import OneClusterConfig
 from repro.core.one_cluster import one_cluster
 from repro.datasets.synthetic import planted_cluster
 from repro.experiments.harness import evaluate_result, timed
+from repro.neighbors import BackendLike
 from repro.utils.rng import as_generator, spawn_generators
 
 
@@ -24,8 +25,12 @@ def run_delta_vs_epsilon(epsilons: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
                          n: int = 2000, dimension: int = 2,
                          cluster_fraction: float = 0.35,
                          delta: float = 1e-6, cluster_radius: float = 0.05,
-                         rng=None) -> List[Dict[str, object]]:
-    """Sweep epsilon and measure the additive loss for both radius methods."""
+                         rng=None,
+                         backend: BackendLike = "auto") -> List[Dict[str, object]]:
+    """Sweep epsilon and measure the additive loss for both radius methods.
+
+    ``backend`` routes the solver and the non-private reference through
+    :func:`repro.neighbors.auto_backend` by default (release-neutral)."""
     generator = as_generator(rng)
     rows: List[Dict[str, object]] = []
     data_rng, *solver_rngs = spawn_generators(generator, 1 + 2 * len(epsilons))
@@ -39,9 +44,10 @@ def run_delta_vs_epsilon(epsilons: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
             config = OneClusterConfig(radius_method=method)
             result, seconds = timed(one_cluster, data.points, target, params,
                                     config=config,
-                                    rng=solver_rngs[2 * index + offset])
+                                    rng=solver_rngs[2 * index + offset],
+                                    backend=backend)
             record = evaluate_result(f"this_work[{method}]", data.points, target,
-                                     result, seconds)
+                                     result, seconds, backend=backend)
             row = {"epsilon": epsilon, "n": n, "d": dimension, "t": target,
                    "radius_method": method,
                    "gamma": result.radius_result.gamma}

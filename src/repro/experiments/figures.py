@@ -27,6 +27,7 @@ from repro.datasets.adversarial import (
     figure2_interval_configuration,
 )
 from repro.geometry.boxes import AxisIntervalPartition
+from repro.neighbors import BackendLike
 from repro.utils.rng import as_generator, spawn_generators
 
 
@@ -46,8 +47,11 @@ def _naive_axiswise_box(points: np.ndarray, interval_length: float) -> np.ndarra
 
 
 def run_figure_configs(epsilon: float = 2.0, delta: float = 1e-6,
-                       rng=None) -> List[Dict[str, object]]:
-    """Verify the Figure-1 and Figure-2 phenomena."""
+                       rng=None,
+                       backend: BackendLike = "auto") -> List[Dict[str, object]]:
+    """Verify the Figure-1 and Figure-2 phenomena.
+
+    ``backend`` is forwarded to the GoodCenter run (release-neutral)."""
     generator = as_generator(rng)
     data_rng, center_rng = spawn_generators(generator, 2)
     rows: List[Dict[str, object]] = []
@@ -58,7 +62,8 @@ def run_figure_configs(epsilon: float = 2.0, delta: float = 1e-6,
     naive_mask = _naive_axiswise_box(cross, interval_length)
     target = 300
     result = good_center(cross, radius=0.05, target=target,
-                         params=PrivacyParams(epsilon, delta), rng=center_rng)
+                         params=PrivacyParams(epsilon, delta), rng=center_rng,
+                         backend=backend)
     rows.append({
         "figure": "F1", "n": cross.shape[0],
         "naive_box_count": int(np.count_nonzero(naive_mask)),

@@ -18,14 +18,22 @@ from repro.accounting.params import PrivacyParams
 from repro.core.good_center import good_center
 from repro.datasets.synthetic import planted_cluster
 from repro.experiments.harness import timed
+from repro.neighbors import BackendLike
 from repro.utils.rng import as_generator, spawn_generators
 
 
 def run_good_center(cluster_sizes: Sequence[int] = (400, 800, 1600),
                     n_multiplier: int = 3, dimension: int = 4,
                     cluster_radius: float = 0.05, epsilon: float = 1.0,
-                    delta: float = 1e-6, rng=None) -> List[Dict[str, object]]:
-    """Sweep the cluster size and measure the centre recovery error."""
+                    delta: float = 1e-6, rng=None,
+                    backend: BackendLike = "auto") -> List[Dict[str, object]]:
+    """Sweep the cluster size and measure the centre recovery error.
+
+    ``backend`` routes the solver's data-heavy stages through
+    :func:`repro.neighbors.auto_backend` by default, so large bench configs
+    never build an unconditional dense structure (backend choice is
+    release-neutral).
+    """
     generator = as_generator(rng)
     params = PrivacyParams(epsilon, delta)
     rows: List[Dict[str, object]] = []
@@ -36,7 +44,8 @@ def run_good_center(cluster_sizes: Sequence[int] = (400, 800, 1600),
                                cluster_radius=cluster_radius, rng=data_rng)
         target = int(0.8 * cluster_size)
         result, seconds = timed(good_center, data.points, cluster_radius,
-                                target, params, rng=solver_rng)
+                                target, params, rng=solver_rng,
+                                backend=backend)
         if result.found:
             error = float(np.linalg.norm(result.center - data.true_ball.center))
             distances = np.sort(np.linalg.norm(

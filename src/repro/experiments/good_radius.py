@@ -19,14 +19,21 @@ from repro.datasets.synthetic import planted_cluster
 from repro.experiments.harness import timed
 from repro.geometry.balls import counts_around_points
 from repro.geometry.minimal_ball import smallest_ball_two_approx
+from repro.neighbors import BackendLike
 from repro.utils.rng import as_generator, spawn_generators
 
 
 def run_good_radius(cluster_radii: Sequence[float] = (0.02, 0.05, 0.1),
                     n: int = 2000, dimension: int = 4,
                     cluster_fraction: float = 0.35, epsilon: float = 1.0,
-                    delta: float = 1e-6, rng=None) -> List[Dict[str, object]]:
-    """Sweep the planted radius and check the Lemma 3.6 guarantees."""
+                    delta: float = 1e-6, rng=None,
+                    backend: BackendLike = "auto") -> List[Dict[str, object]]:
+    """Sweep the planted radius and check the Lemma 3.6 guarantees.
+
+    ``backend`` covers the solver *and* the non-private evaluation queries
+    (the 2-approximation reference and the capture counts), so no part of
+    the experiment builds a dense distance structure at large ``n``.
+    """
     generator = as_generator(rng)
     params = PrivacyParams(epsilon, delta)
     rows: List[Dict[str, object]] = []
@@ -36,13 +43,15 @@ def run_good_radius(cluster_radii: Sequence[float] = (0.02, 0.05, 0.1),
                                cluster_size=int(cluster_fraction * n),
                                cluster_radius=cluster_radius, rng=data_rng)
         target = int(0.8 * cluster_fraction * n)
-        reference = smallest_ball_two_approx(data.points, target)
+        reference = smallest_ball_two_approx(data.points, target,
+                                             backend=backend)
         r_opt_upper = reference.radius            # <= 2 r_opt
         r_opt_lower = reference.radius / 2.0      # >= r_opt / 2
 
         result, seconds = timed(good_radius, data.points, target, params,
-                                rng=solver_rng)
-        best_capture = int(np.max(counts_around_points(data.points, result.radius)))
+                                rng=solver_rng, backend=backend)
+        best_capture = int(np.max(counts_around_points(data.points, result.radius,
+                                                       backend=backend)))
         rows.append({
             "cluster_radius": cluster_radius, "n": n, "d": dimension,
             "t": target, "epsilon": epsilon,

@@ -18,13 +18,18 @@ from repro.accounting.params import PrivacyParams
 from repro.clustering.k_cluster import k_cluster
 from repro.datasets.synthetic import gaussian_blobs
 from repro.experiments.harness import timed
+from repro.neighbors import BackendLike
 from repro.utils.rng import as_generator, spawn_generators
 
 
 def run_k_clustering(k_values=(2, 3, 4), n: int = 3000, dimension: int = 2,
                      spread: float = 0.03, epsilon: float = 4.0,
-                     delta: float = 1e-6, rng=None) -> List[Dict[str, object]]:
-    """Sweep the number of blobs/balls and measure coverage and recovery."""
+                     delta: float = 1e-6, rng=None,
+                     backend: BackendLike = "auto") -> List[Dict[str, object]]:
+    """Sweep the number of blobs/balls and measure coverage and recovery.
+
+    ``backend`` routes each 1-cluster iteration through
+    :func:`repro.neighbors.auto_backend` by default (release-neutral)."""
     generator = as_generator(rng)
     rows: List[Dict[str, object]] = []
     for k in k_values:
@@ -33,7 +38,8 @@ def run_k_clustering(k_values=(2, 3, 4), n: int = 3000, dimension: int = 2,
                                                  spread=spread, rng=data_rng)
         params = PrivacyParams(epsilon, delta)
         result, seconds = timed(k_cluster, points, k, params,
-                                target=max(1, n // (2 * k)), rng=solver_rng)
+                                target=max(1, n // (2 * k)), rng=solver_rng,
+                                backend=backend)
         recovered = 0
         for center in centers:
             distances = [float(np.linalg.norm(ball.center - center))

@@ -22,13 +22,19 @@ from repro.lowerbound.interior_point import (
     interior_point_sample_complexity_lower_bound,
     is_interior_point,
 )
+from repro.neighbors import BackendLike
 from repro.utils.rng import as_generator, spawn_generators
 
 
 def run_lower_bound(domain_sizes: Sequence[int] = (2 ** 8, 2 ** 16, 2 ** 32),
                     m: int = 600, epsilon: float = 2.0, delta: float = 1e-6,
-                    repetitions: int = 3, rng=None) -> List[Dict[str, object]]:
-    """Run the IntPoint reduction over increasingly large domains."""
+                    repetitions: int = 3, rng=None,
+                    backend: BackendLike = "auto") -> List[Dict[str, object]]:
+    """Run the IntPoint reduction over increasingly large domains.
+
+    ``backend`` is forwarded to the underlying 1-cluster solver
+    (release-neutral; ``"auto"`` keeps large-``m`` bench configs off the
+    dense paths)."""
     generator = as_generator(rng)
     params = PrivacyParams(epsilon, delta)
     rows: List[Dict[str, object]] = []
@@ -45,7 +51,8 @@ def run_lower_bound(domain_sizes: Sequence[int] = (2 ** 8, 2 ** 16, 2 ** 32),
                                                       domain_size // 8, size=m)
             values = np.clip(values, 0, domain_size - 1).astype(float)
             result, seconds = timed(int_point, values, cluster_size=m // 2,
-                                    params=params, rng=solver_rng)
+                                    params=params, rng=solver_rng,
+                                    backend=backend)
             total_seconds += seconds
             if is_interior_point(result.value, values):
                 successes += 1

@@ -18,13 +18,20 @@ from repro.accounting.params import PrivacyParams
 from repro.clustering.outliers import outlier_ball
 from repro.datasets.synthetic import clustered_with_outliers
 from repro.experiments.harness import timed
+from repro.neighbors import BackendLike
 from repro.utils.rng import as_generator, spawn_generators
 
 
 def run_outliers(contamination_levels: Sequence[float] = (0.05, 0.1, 0.2),
                  n: int = 2000, dimension: int = 2, epsilon: float = 2.0,
-                 delta: float = 1e-6, rng=None) -> List[Dict[str, object]]:
-    """Sweep the outlier fraction and measure screening quality."""
+                 delta: float = 1e-6, rng=None,
+                 backend: BackendLike = "auto") -> List[Dict[str, object]]:
+    """Sweep the outlier fraction and measure screening quality.
+
+    ``backend`` routes the screening solver's ``t = 0.9 n`` profile through
+    :func:`repro.neighbors.auto_backend` by default — the streaming
+    large-target walk instead of an unconditional dense structure
+    (release-neutral)."""
     generator = as_generator(rng)
     params = PrivacyParams(epsilon, delta)
     rows: List[Dict[str, object]] = []
@@ -35,7 +42,8 @@ def run_outliers(contamination_levels: Sequence[float] = (0.05, 0.1, 0.2),
         )
         inlier_fraction = 1.0 - contamination
         screen, seconds = timed(outlier_ball, points, params,
-                                inlier_fraction=inlier_fraction, rng=solver_rng)
+                                inlier_fraction=inlier_fraction, rng=solver_rng,
+                                backend=backend)
         if screen.found:
             flagged = screen.outlier_mask(points)
             true_positive = int(np.count_nonzero(flagged & is_outlier))

@@ -34,13 +34,15 @@ from repro.core.one_cluster import one_cluster
 from repro.datasets.synthetic import planted_cluster
 from repro.experiments.harness import evaluate_result, timed
 from repro.geometry.grid import GridDomain
+from repro.neighbors import BackendLike
 from repro.utils.rng import as_generator, spawn_generators
 
 
 def run_table1(n: int = 2000, dimension: int = 2, cluster_fraction: float = 0.3,
                epsilon: float = 2.0, delta: float = 1e-6,
                cluster_radius: float = 0.05, grid_side: int = 33,
-               repetitions: int = 1, rng=None) -> List[Dict[str, object]]:
+               repetitions: int = 1, rng=None,
+               backend: BackendLike = "auto") -> List[Dict[str, object]]:
     """Run every Table-1 method on the same planted-cluster instance.
 
     Parameters
@@ -58,6 +60,11 @@ def run_table1(n: int = 2000, dimension: int = 2, cluster_fraction: float = 0.3,
         Number of independent repetitions; rows report per-repetition results.
     rng:
         Seed or generator.
+    backend:
+        Neighbor-backend selection for the solvers that accept one (this
+        work, the exponential-mechanism baseline, and the non-private
+        reference); ``"auto"`` routes large bench configs away from the
+        unconditional dense structures (release-neutral).
     """
     generator = as_generator(rng)
     params = PrivacyParams(epsilon, delta)
@@ -69,7 +76,8 @@ def run_table1(n: int = 2000, dimension: int = 2, cluster_fraction: float = 0.3,
                                cluster_radius=cluster_radius,
                                center=[0.28] * dimension, rng=data_rng)
         target = int(0.8 * cluster_fraction * n)
-        reference = nonprivate_one_cluster(data.points, target)
+        reference = nonprivate_one_cluster(data.points, target,
+                                           backend=backend)
 
         def add_row(method: str, result, seconds: float) -> None:
             record = evaluate_result(method, data.points, target, result,
@@ -82,7 +90,7 @@ def run_table1(n: int = 2000, dimension: int = 2, cluster_fraction: float = 0.3,
         add_row("nonprivate", reference, 0.0)
 
         result, seconds = timed(one_cluster, data.points, target, params,
-                                rng=method_rngs[0])
+                                rng=method_rngs[0], backend=backend)
         add_row("this_work", result, seconds)
 
         result, seconds = timed(private_aggregation_cluster, data.points, target,
@@ -93,7 +101,8 @@ def run_table1(n: int = 2000, dimension: int = 2, cluster_fraction: float = 0.3,
             domain = GridDomain.unit_cube(dimension, grid_side)
             snapped = domain.snap(np.clip(data.points, 0.0, 1.0))
             result, seconds = timed(exponential_mechanism_cluster, snapped, target,
-                                    params, domain, rng=method_rngs[2])
+                                    params, domain, rng=method_rngs[2],
+                                    backend=backend)
             add_row("exponential_mechanism", result, seconds)
 
         if dimension == 1:

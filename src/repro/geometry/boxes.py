@@ -20,6 +20,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro import kernels as _kernels
 from repro.utils.rng import RngLike, as_generator
 from repro.utils.validation import check_points, check_positive
 
@@ -49,7 +50,9 @@ def box_labels(points: np.ndarray, shifts: np.ndarray,
     numpy.ndarray
         ``(n, k)`` ``int64`` per-axis box indices.
     """
-    return np.floor((points - shifts[None, :]) / width).astype(np.int64)
+    points = np.asarray(points, dtype=float)
+    shifts = np.asarray(shifts, dtype=float)
+    return _kernels.fused_box_labels(points, shifts, width)
 
 
 def interval_labels(values: np.ndarray, width: float,
@@ -78,7 +81,7 @@ def interval_labels(values: np.ndarray, width: float,
         ``int64`` interval indices, same shape as ``values``.
     """
     values = np.asarray(values, dtype=float)
-    return np.floor((values - offset) / width).astype(np.int64)
+    return _kernels.fused_interval_labels(values, width, offset)
 
 
 @dataclass(frozen=True)

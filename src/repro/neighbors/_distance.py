@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels as _kernels
+
 try:  # pragma: no cover - exercised implicitly on scipy installs
     from scipy.spatial.distance import cdist as _cdist
 except ImportError:  # pragma: no cover - scipy-less environments
@@ -41,11 +43,13 @@ def squared_radius_keys(radii: np.ndarray) -> np.ndarray:
 
 
 def squared_distance_block(queries: np.ndarray, data: np.ndarray) -> np.ndarray:
-    """Exact ``(q, n)`` squared Euclidean distances, by direct differencing."""
-    if _cdist is not None:
-        return _cdist(queries, data, metric="sqeuclidean")
-    difference = queries[:, None, :] - data[None, :, :]
-    return np.einsum("qnd,qnd->qn", difference, difference)
+    """Exact ``(q, n)`` squared Euclidean distances, by direct differencing.
+
+    Dispatches to the active kernel set (:mod:`repro.kernels`): scipy
+    ``cdist`` / einsum in python mode, the numba slab — bitwise identical
+    by its fixed left-to-right accumulation order — in native mode.
+    """
+    return _kernels.squared_distance_slab(queries, data)
 
 
 def squared_distance_gather(queries: np.ndarray,
@@ -68,13 +72,7 @@ def squared_distance_gather(queries: np.ndarray,
     """
     queries = np.asarray(queries, dtype=float)
     neighbors = np.asarray(neighbors, dtype=float)
-    difference = neighbors - queries[:, None, :]
-    if _cdist is not None:
-        q, k, d = difference.shape
-        flat = np.ascontiguousarray(difference.reshape(q * k, d))
-        return _cdist(flat, np.zeros((1, d)),
-                      metric="sqeuclidean").reshape(q, k)
-    return np.einsum("qkd,qkd->qk", difference, difference)
+    return _kernels.squared_distance_gather(queries, neighbors)
 
 
 def row_block_size(num_points: int, dimension: int,

@@ -65,10 +65,11 @@ from repro.neighbors.base import (
     ProjectedView,
     QueryPlan,
 )
+from repro import kernels as _kernels
 from repro.utils.exactsum import (
-    fixed_point_column_sums,
+    fixed_point_column_partials,
     fixed_point_to_float,
-    merge_fixed_point,
+    merge_column_partials,
 )
 from repro.utils.validation import check_integer, check_points
 
@@ -411,15 +412,16 @@ class _ShardSet:
     def view_masked_sum(self, shard: int, token: Optional[int],
                         matrix: Optional[np.ndarray],
                         offset: Optional[np.ndarray],
-                        spec: tuple) -> Tuple[int, list]:
-        """``(count, exact fixed-point column sums)`` of this shard's
-        selected image rows — the mergeable partial behind
-        :meth:`ProjectedView.masked_sum` (integer addition across shards is
-        exact and associative, so the merged total is independent of the
-        shard topology)."""
+                        spec: tuple) -> Tuple[int, tuple]:
+        """``(count, fixed-point (limb, shift, column) partial arrays)`` of
+        this shard's selected image rows — the mergeable partial behind
+        :meth:`ProjectedView.masked_sum`.  The wire form is fixed-width
+        int64 arrays (producible by the native kernel, cheap to pickle);
+        integer addition across shards is exact and associative, so the
+        merged total is independent of the shard topology."""
         rows = self._selection_rows_local(shard, spec)
         image = self.view_image(shard, token, matrix, offset, rows=rows)
-        return int(rows.shape[0]), fixed_point_column_sums(image)
+        return int(rows.shape[0]), fixed_point_column_partials(image)
 
     def view_masked_minmax(self, shard: int, token: Optional[int],
                            matrix: Optional[np.ndarray],
@@ -437,18 +439,20 @@ class _ShardSet:
                             matrix: Optional[np.ndarray],
                             offset: Optional[np.ndarray], spec: tuple,
                             center: np.ndarray,
-                            clip_radius: float) -> Tuple[int, list]:
-        """NoisyAVG partial: count and exact fixed-point sums of
-        ``y - center`` over this shard's selected rows inside the clip ball
-        (the shared :func:`repro.geometry.balls.ball_membership` mask, so the
-        shard-side selection is bitwise the parent's)."""
+                            clip_radius: float) -> Tuple[int, tuple]:
+        """NoisyAVG partial: count and fixed-point ``(limb, shift, column)``
+        partial arrays of ``y - center`` over this shard's selected rows
+        inside the clip ball (the shared
+        :func:`repro.geometry.balls.ball_membership` mask, so the shard-side
+        selection is bitwise the parent's)."""
         from repro.geometry.balls import ball_membership
 
         rows = self._selection_rows_local(shard, spec)
         image = self.view_image(shard, token, matrix, offset, rows=rows)
         inside = ball_membership(image, center, clip_radius)
         deltas = image[inside] - np.asarray(center, dtype=float)[None, :]
-        return int(np.count_nonzero(inside)), fixed_point_column_sums(deltas)
+        return (int(np.count_nonzero(inside)),
+                fixed_point_column_partials(deltas))
 
     def view_masked_axis_hists(self, shard: int, token: Optional[int],
                                matrix: Optional[np.ndarray],
@@ -626,10 +630,13 @@ def _split_rows_by_shard(rows: np.ndarray,
     return order, slices
 
 
-def _merge_masked_sum(parts: Sequence[tuple]) -> np.ndarray:
-    """Fold ``(count, fixed-point sums)`` partials into the exact float
-    column sums (see :func:`repro.utils.exactsum.merge_fixed_point`)."""
-    totals = merge_fixed_point([part[1] for part in parts])
+def _merge_masked_sum(parts: Sequence[tuple],
+                      image_dimension: int) -> np.ndarray:
+    """Fold ``(count, (limb, shift, column) arrays)`` partials into the
+    exact float column sums (see
+    :func:`repro.utils.exactsum.merge_column_partials`)."""
+    totals = merge_column_partials(image_dimension,
+                                   [part[1] for part in parts])
     return np.asarray([fixed_point_to_float(total) for total in totals],
                       dtype=float)
 
@@ -823,6 +830,13 @@ class ShardedBackend(NeighborBackend):
 
     name = "sharded"
 
+    #: Plans submitted here run genuinely in flight (pool mode), so
+    #: GoodCenter's noise-gate predictor speculates through this strategy;
+    #: the serial fallback still opts in — the speculative plan is the same
+    #: shard/merge work either way, which keeps the regression tests
+    #: deterministic without a pool.
+    supports_speculation: ClassVar[bool] = True
+
     #: Partition-search attempts batched per heaviest-cell request.
     HEAVIEST_CELL_BATCH: ClassVar[int] = 8
 
@@ -900,6 +914,8 @@ class ShardedBackend(NeighborBackend):
         stats["num_shards"] = self.num_shards
         stats["requested_workers"] = self._requested_workers
         stats["parallel"] = self._executors is not None
+        stats["kernel_mode"] = _kernels.KERNEL_MODE
+        stats["speculation"] = self.speculation_stats()
         if self._executors is not None:
             try:
                 stats["workers"] = [
@@ -1376,12 +1392,13 @@ class ShardedBackend(NeighborBackend):
             elif op == "masked_count":
                 results.append(int(sum(parts)))
             elif op == "masked_sum":
-                results.append(_merge_masked_sum(parts))
+                results.append(_merge_masked_sum(parts, extra))
             elif op == "masked_minmax":
                 results.append(_merge_minmax(parts, extra))
             elif op == "masked_clipped_sum":
                 count = int(sum(part[0] for part in parts))
-                totals = merge_fixed_point([part[1] for part in parts])
+                totals = merge_column_partials(extra,
+                                               [part[1] for part in parts])
                 results.append(ClippedSum(
                     count=count,
                     vector_sum=np.asarray(
@@ -1659,7 +1676,7 @@ class _ShardedView(ProjectedView):
 
     def masked_sum(self, selection) -> np.ndarray:
         parts = self._masked_parts("view_masked_sum", selection)
-        return _merge_masked_sum(parts)
+        return _merge_masked_sum(parts, self.image_dimension)
 
     def masked_minmax(self, selection) -> np.ndarray:
         parts = self._masked_parts("view_masked_minmax", selection)
@@ -1676,7 +1693,8 @@ class _ShardedView(ProjectedView):
         parts = self._masked_parts("view_masked_clipped", selection, center,
                                    float(clip_radius))
         count = int(sum(part[0] for part in parts))
-        return count, merge_fixed_point([part[1] for part in parts])
+        return count, merge_column_partials(self.image_dimension,
+                                            [part[1] for part in parts])
 
     def masked_axis_histograms(self, selection, width: float,
                                offset: float = 0.0) -> list:

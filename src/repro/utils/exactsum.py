@@ -27,9 +27,11 @@ few thousand big-int operations for a million inputs.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Tuple
 
 import numpy as np
+
+from repro import kernels
 
 #: Every finite float64 is an integer multiple of ``2**-SCALE_BITS``.
 SCALE_BITS = 1074
@@ -89,17 +91,65 @@ def fixed_point_sum(values) -> int:
     return total
 
 
-def fixed_point_column_sums(matrix) -> List[int]:
-    """Per-column :func:`fixed_point_sum` of a ``(q, k)`` matrix.
+def fixed_point_column_partials(
+    matrix,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-column exact fixed-point partials as ``(limb, shift, column)``
+    int64 arrays.
 
-    Empty inputs give ``k`` zeros (``(0, k)``) — the identity partial an
-    empty shard contributes.
+    Entry ``i`` contributes ``limbs[i] * 2**shifts[i]`` (in
+    ``2**-SCALE_BITS`` units) to column ``columns[i]``'s total; folding a
+    column's entries with exact integer arithmetic
+    (:func:`merge_column_partials`) yields the identical canonical total as
+    :func:`fixed_point_sum` of that column.  Unlike the big-int partials,
+    these are fixed-width integer arrays — cheap to pickle across the
+    sharded backend's process boundary and producible by the compiled
+    kernel (:func:`repro.kernels.fixed_point_column_partials`, to which
+    this validated wrapper dispatches).
     """
     matrix = np.asarray(matrix, dtype=float)
     if matrix.ndim != 2:
         raise ValueError(f"expected a 2-d matrix, got shape {matrix.shape}")
-    return [fixed_point_sum(matrix[:, column])
-            for column in range(matrix.shape[1])]
+    if matrix.size and not np.all(np.isfinite(matrix)):
+        raise ValueError("exact summation requires finite values")
+    return kernels.fixed_point_column_partials(matrix)
+
+
+def merge_column_partials(num_columns: int, partials: Iterable) -> List[int]:
+    """Fold ``(limbs, shifts, columns)`` partials into per-column exact
+    big-int totals.
+
+    Integer addition is exact and associative, so the totals are independent
+    of how the rows were partitioned across partials, of each partial's
+    internal decomposition (reference and native kernels emit different but
+    equivalent ones), and of the fold order.  Negative shifts only arise
+    from subnormal limbs, whose mantissa integers are divisible by the
+    deficit — the right-shift is exact (same argument as
+    :func:`fixed_point_sum`).
+    """
+    totals = [0] * int(num_columns)
+    for limbs, shifts, columns in partials:
+        for limb, shift, column in zip(np.asarray(limbs).tolist(),
+                                       np.asarray(shifts).tolist(),
+                                       np.asarray(columns).tolist()):
+            totals[column] += limb << shift if shift >= 0 else limb >> -shift
+    return totals
+
+
+def fixed_point_column_sums(matrix) -> List[int]:
+    """Per-column :func:`fixed_point_sum` of a ``(q, k)`` matrix.
+
+    Empty inputs give ``k`` zeros (``(0, k)``) — the identity partial an
+    empty shard contributes.  Routed through the dispatched partials kernel
+    (:func:`fixed_point_column_partials`); the fold reconstructs the same
+    canonical per-column totals as summing each column directly.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-d matrix, got shape {matrix.shape}")
+    return merge_column_partials(
+        matrix.shape[1], [fixed_point_column_partials(matrix)]
+    )
 
 
 def merge_fixed_point(partials: Iterable) -> List[int]:
@@ -148,8 +198,10 @@ def exact_column_sums(matrix) -> np.ndarray:
 __all__ = [
     "SCALE_BITS",
     "exact_column_sums",
+    "fixed_point_column_partials",
     "fixed_point_column_sums",
     "fixed_point_sum",
     "fixed_point_to_float",
+    "merge_column_partials",
     "merge_fixed_point",
 ]
