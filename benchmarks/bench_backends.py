@@ -518,6 +518,58 @@ def bench_json_release(n: int, rng_seed: int, workers=None) -> dict:
     }
 
 
+def bench_json_distributed(n: int, rng_seed: int, num_nodes: int) -> dict:
+    """The ``--distributed`` column: the ``bench_json_release`` workload
+    over loopback node servers, so the trajectory tracks how much the wire
+    (framing, encode/decode, one RPC per node per collective) costs on top
+    of the same shard/merge work — the release itself is bitwise the local
+    one, which the distributed parity suite pins."""
+    from repro.core.config import GoodCenterConfig
+    from repro.core.good_center import good_center
+    from repro.neighbors.distributed import DistributedBackend
+    from repro.neighbors.serve import NodeServer
+
+    dimension = 16
+    target = n // 2
+    config = GoodCenterConfig(jl_constant=0.3)
+    data = planted_cluster(n=n, d=dimension, cluster_size=int(0.6 * n),
+                           cluster_radius=0.05,
+                           center=[0.5] * dimension, rng=rng_seed)
+    servers = [NodeServer().start() for _ in range(num_nodes)]
+    try:
+        backend = DistributedBackend(data.points,
+                                     nodes=[s.address for s in servers],
+                                     num_shards=2 * num_nodes)
+        try:
+            backend.radius_counts(0.01)        # warm: node caches
+            warm_fanouts = backend.pool_stats()["fanouts"]
+            start = time.perf_counter()
+            result = good_center(data.points, radius=0.05, target=target,
+                                 params=PrivacyParams(8.0, 1e-5),
+                                 config=config, rng=5, backend=backend)
+            wall = time.perf_counter() - start
+            stats = backend.pool_stats()
+        finally:
+            backend.close()
+    finally:
+        for server in servers:
+            server.stop()
+    return {
+        "bench": "good_center_distributed",
+        "n": n,
+        "d": dimension,
+        "target": target,
+        "num_nodes": num_nodes,
+        "num_shards": int(stats["num_shards"]),
+        "found": bool(result.found),
+        "wall_seconds": wall,
+        "round_trips": int(stats["fanouts"] - warm_fanouts),
+        "plans": int(stats["plans"]),
+        "kernel_mode": stats["kernel_mode"],
+        "speculation": speculation_summary(stats),
+    }
+
+
 def run_json(args) -> None:
     """``--json``: write the persisted benchmark trajectory and print a recap."""
     configs = []
@@ -529,6 +581,11 @@ def run_json(args) -> None:
     print(f"running sharded good_center release at n={release_n}, d=16 ...",
           flush=True)
     configs.append(bench_json_release(release_n, args.rng, args.workers))
+    if args.distributed:
+        print(f"running distributed good_center release at n={release_n}, "
+              f"d=16, {args.distributed} loopback nodes ...", flush=True)
+        configs.append(bench_json_distributed(release_n, args.rng,
+                                              args.distributed))
     payload = {
         "schema": 1,
         "generated_by": "benchmarks/bench_backends.py --json",
@@ -549,10 +606,12 @@ def run_json(args) -> None:
         else:
             rate = config["speculation"]["hit_rate"]
             rate_text = "n/a" if rate is None else f"{rate:.2f}"
-            print(f"  good_center_sharded  n={config['n']:>7}: "
+            nodes = (f", {config['num_nodes']} nodes"
+                     if "num_nodes" in config else "")
+            print(f"  {config['bench']:<20} n={config['n']:>7}: "
                   f"{config['wall_seconds']:.3f}s, "
                   f"{config['round_trips']} round trips, "
-                  f"speculation hit rate {rate_text}")
+                  f"speculation hit rate {rate_text}{nodes}")
 
 
 def main() -> None:
@@ -597,6 +656,12 @@ def main() -> None:
                              "good_center release with wall time, round "
                              "trips, speculation hit rate, kernel mode and "
                              "parent peak memory")
+    parser.add_argument("--distributed", nargs="?", const=2, default=None,
+                        type=int, metavar="NODES",
+                        help="with --json: also run the good_center release "
+                             "through the distributed backend over NODES "
+                             "(default 2) loopback node servers, appending "
+                             "a good_center_distributed column")
     parser.add_argument("--rng", type=int, default=0)
     args = parser.parse_args()
     if args.sizes is None:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -271,8 +271,14 @@ class OneClusterConfig:
     neighbor_workers:
         Worker-process count for ``neighbor_backend="sharded"`` (``0`` forces
         the serial in-process fallback, ``None`` — the default — sizes the
-        pool from the CPU count).  Only consulted when ``neighbor_backend``
-        is exactly ``"sharded"``.
+        pool from the CPU count).  For ``neighbor_backend="distributed"``
+        this is the per-node worker count instead.  Only consulted for
+        those two strategies.
+    neighbor_nodes:
+        Node-server addresses (``"host:port"`` strings, one
+        ``python -m repro.neighbors.serve`` per entry) for
+        ``neighbor_backend="distributed"`` — required by, and only
+        consulted for, that strategy.
     """
 
     center: GoodCenterConfig = field(default_factory=GoodCenterConfig.practical)
@@ -282,6 +288,7 @@ class OneClusterConfig:
     grid_side: int = 1025
     neighbor_backend: str = "auto"
     neighbor_workers: Optional[int] = None
+    neighbor_nodes: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.radius_method not in ("recconcave", "binary_search"):
@@ -293,9 +300,9 @@ class OneClusterConfig:
             raise ValueError("radius_budget_fraction must lie in (0, 1)")
         if self.grid_side < 2:
             raise ValueError("grid_side must be at least 2")
-        from repro.neighbors import BACKENDS
+        from repro.neighbors import BACKENDS, DISTRIBUTED_BACKEND_NAME
 
-        valid = {"auto", *BACKENDS}
+        valid = {"auto", DISTRIBUTED_BACKEND_NAME, *BACKENDS}
         if self.neighbor_backend not in valid:
             raise ValueError(
                 f"neighbor_backend must be one of {sorted(valid)}, got "
@@ -306,16 +313,30 @@ class OneClusterConfig:
                 f"neighbor_workers must be non-negative or None, got "
                 f"{self.neighbor_workers}"
             )
+        if self.neighbor_nodes is not None:
+            object.__setattr__(self, "neighbor_nodes",
+                               tuple(str(node) for node in self.neighbor_nodes))
+        if (self.neighbor_backend == DISTRIBUTED_BACKEND_NAME
+                and not self.neighbor_nodes):
+            raise ValueError(
+                "neighbor_backend='distributed' requires neighbor_nodes "
+                "('host:port' strings, one node server per entry)"
+            )
 
     def neighbor_backend_options(self) -> dict:
         """Constructor options for :func:`repro.neighbors.resolve_backend`.
 
-        Non-empty only for the sharded strategy (the single-process backends
-        take no tuning knobs from this config), so the options can always be
-        passed through safely.
+        Non-empty only for the sharded and distributed strategies (the
+        single-process backends take no tuning knobs from this config), so
+        the options can always be passed through safely.
         """
         if self.neighbor_backend == "sharded" and self.neighbor_workers is not None:
             return {"num_workers": self.neighbor_workers}
+        if self.neighbor_backend == "distributed":
+            options: dict = {"nodes": list(self.neighbor_nodes)}
+            if self.neighbor_workers is not None:
+                options["node_workers"] = self.neighbor_workers
+            return options
         return {}
 
     @classmethod

@@ -60,6 +60,7 @@ import numpy as np
 from repro.neighbors.base import (
     STREAMING_MIN_POINTS,
     STREAMING_TARGET_FRACTION,
+    BackendUnavailableError,
     BoxSelection,
     ClippedSum,
     NeighborBackend,
@@ -76,12 +77,22 @@ from repro.neighbors.tree import HAVE_SCIPY_TREE, TreeBackend
 from repro.utils.validation import check_points
 
 #: Strategy registry, keyed by the names accepted in configs and CLIs.
+#: Every entry here is constructible from ``points`` alone; the
+#: ``"distributed"`` strategy (:mod:`repro.neighbors.distributed`) is *not*
+#: listed because it additionally needs live node servers — it is reachable
+#: through :func:`resolve_backend` (and configs) by name, with the node
+#: addresses supplied via ``options={"nodes": [...]}``.
 BACKENDS: Dict[str, Callable[..., NeighborBackend]] = {
     DenseBackend.name: DenseBackend,
     ChunkedBackend.name: ChunkedBackend,
     TreeBackend.name: TreeBackend,
     ShardedBackend.name: ShardedBackend,
 }
+
+#: The name :func:`resolve_backend` accepts for the coordinator-side
+#: distributed strategy (imported lazily: most sessions never pay for the
+#: transport module).
+DISTRIBUTED_BACKEND_NAME = "distributed"
 
 #: Everything ``backend=`` arguments accept: a strategy name (or "auto"),
 #: a backend class, an already-built instance, or None (= "auto").
@@ -113,6 +124,10 @@ def auto_backend(num_points: int, dimension: int) -> str:
     * ``d <= TREE_MAX_DIMENSION`` (scipy available) — KD-trees; higher
       dimensions degrade tree pruning to brute force with extra overhead.
     * otherwise — blocked brute force, the safe choice at any size.
+
+    The ``"distributed"`` strategy is never auto-selected: it requires
+    operator-provisioned node servers (addresses the size heuristics cannot
+    invent), so it is only reachable by explicit name.
 
     Parameters
     ----------
@@ -146,8 +161,9 @@ def resolve_backend(points, backend: BackendLike = None,
     backend:
         ``None`` / ``"auto"`` (size-based selection via :func:`auto_backend`),
         a registry name (``"dense"``, ``"chunked"``, ``"tree"``,
-        ``"sharded"``), a backend class, or an existing instance (which must
-        have been built over the same dataset).
+        ``"sharded"``), ``"distributed"`` (which additionally requires
+        ``options={"nodes": [...]}``), a backend class, or an existing
+        instance (which must have been built over the same dataset).
     options:
         Optional constructor keyword arguments applied when a backend is
         *built* here (name or class), e.g. ``{"num_workers": 4}`` for the
@@ -181,10 +197,20 @@ def resolve_backend(points, backend: BackendLike = None,
         name = backend.lower()
         if name == "auto":
             name = auto_backend(points.shape[0], points.shape[1])
+        if name == DISTRIBUTED_BACKEND_NAME:
+            if not (options or {}).get("nodes"):
+                raise ValueError(
+                    "the distributed backend needs node servers; pass "
+                    "options={'nodes': ['host:port', ...]} (one "
+                    "`python -m repro.neighbors.serve` per entry)"
+                )
+            from repro.neighbors.distributed import DistributedBackend
+
+            return DistributedBackend(points, **(options or {}))
         if name not in BACKENDS:
             raise ValueError(
-                f"unknown backend {backend!r}; expected 'auto' or one of "
-                f"{sorted(BACKENDS)}"
+                f"unknown backend {backend!r}; expected 'auto', "
+                f"'{DISTRIBUTED_BACKEND_NAME}', or one of {sorted(BACKENDS)}"
             )
         return BACKENDS[name](points, **(options or {}))
     raise TypeError(
@@ -196,7 +222,9 @@ def resolve_backend(points, backend: BackendLike = None,
 __all__ = [
     "BACKENDS",
     "BackendLike",
+    "BackendUnavailableError",
     "DENSE_MAX_POINTS",
+    "DISTRIBUTED_BACKEND_NAME",
     "SHARDED_MIN_POINTS",
     "STREAMING_MIN_POINTS",
     "STREAMING_TARGET_FRACTION",

@@ -70,6 +70,20 @@ STREAMING_MIN_POINTS = 8192
 _squared_radii = squared_radius_keys
 
 
+class BackendUnavailableError(RuntimeError):
+    """A backend's remote execution substrate became unreachable.
+
+    Raised by transports (the distributed backend's node connections) when a
+    node dies, a connection drops mid-message, or a per-call timeout fires.
+    Deliberately distinct from the sharded pool's silent serial fallback: a
+    remote node owns state the coordinator cannot reconstruct (its shard
+    slice's indexes and caches are recoverable, but the operator chose the
+    topology), so the failure is surfaced instead of silently absorbed — and
+    crucially *no partial merge* is ever returned, because a release computed
+    from a subset of shards would be wrong, not just slow.
+    """
+
+
 def _score_from_histogram(histogram: np.ndarray, target: int,
                           descending_values: np.ndarray) -> float:
     """Top-``target`` mean from one capped-count histogram.
@@ -1288,6 +1302,7 @@ class NeighborBackend(abc.ABC):
 
 __all__ = [
     "BACKEND_PLAN_OPS",
+    "BackendUnavailableError",
     "BoxSelection",
     "ClippedSum",
     "MASKED_PLAN_OPS",

@@ -1,0 +1,365 @@
+"""Distributed backend: shards answered by remote node servers over TCP.
+
+:class:`DistributedBackend` is the coordinator side of a master/node split
+(the shape of clusterz's ``DistributedKZCenter`` driving one
+``DistQueryOracle`` per machine): it subclasses
+:class:`~repro.neighbors.sharded.ShardedBackend` and keeps *everything*
+above the transport — the plan compiler, the selection/view wire specs,
+the deterministic shard-order merge folds, the bounded heaviest-cell
+merge — swapping only the dispatch layer: instead of submitting
+``(method, shard, args)`` tasks to local worker processes, it groups them
+by owning node (``shard % num_nodes``) and ships each node's batch as one
+``shard_tasks`` RPC over a pipelined socket (the
+:mod:`repro.neighbors.rpc` framing).  Each node hosts a node-local
+``ShardedBackend`` over the *same* dataset with the *same* global shard
+bounds, so a task for shard ``s`` computes bitwise the same partial no
+matter which machine answers it — and because partials are folded in
+shard order by the shared ``_merge_*`` code, every released value is
+bitwise identical whether shards live in threads, processes, or sockets
+(the loopback parity suite pins exactly this across 1/2/3-node
+topologies).
+
+Dataset placement: ``init`` ships the full ``(n, d)`` array to every node
+once, at construction.  That is deliberate — the truncated statistic and
+the streaming histograms query *all* points against one shard's slice, so
+the node needs the full dataset anyway; what is sharded is the expensive
+state (per-shard indexes, cached view images, memoised selections) and
+the work.  Nodes only ever receive tasks for the shards assigned to them,
+so with ``W`` workers per node each machine builds indexes for its
+``num_shards / num_nodes`` shards and nothing else.
+
+Failure semantics: a node death, a dropped connection, or a per-call
+timeout raises :class:`~repro.neighbors.base.BackendUnavailableError` and
+poisons the affected connection — subsequent calls fail fast instead of
+hanging, and **no partial merge is ever returned** (a release computed
+from a subset of shards would be silently wrong; contrast the local
+pool's silent serial fallback, which can recompute everything from the
+parent's own copy of the points).
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import kernels as _kernels
+from repro.neighbors.base import (
+    BackendUnavailableError,
+    PlanFuture,
+    QueryPlan,
+)
+from repro.neighbors.rpc import NodeClient, parse_node_address
+from repro.neighbors.sharded import (
+    SHARD_TASK_METHODS,
+    ShardedBackend,
+    _CompiledPlan,
+)
+
+__all__ = ["DistributedBackend"]
+
+
+class _DistributedPlanFuture(PlanFuture):
+    """An in-flight plan: one pipelined ``shard_tasks`` RPC per node.
+
+    ``submit`` already wrote every node's batch to its socket, so the plan
+    is genuinely in flight node-side; :meth:`result` drains the replies,
+    reassembles the per-shard partials **in shard order**, and folds them
+    through the shared merge code.  Any node failure surfaces as
+    :class:`BackendUnavailableError` before any merging happens — there is
+    no partial result to leak.
+    """
+
+    def __init__(self, backend: "DistributedBackend", compiled: _CompiledPlan,
+                 node_batches: list) -> None:
+        self._backend = backend
+        self._compiled = compiled
+        #: ``[(node, [shard, ...], PendingReply), ...]``
+        self._node_batches = node_batches
+        self._resolved: Optional[list] = None
+
+    def done(self) -> bool:
+        """Whether every node's reply has arrived (merging still happens on
+        the first :meth:`result` call)."""
+        return (self._resolved is not None
+                or all(pending.done()
+                       for _, _, pending in self._node_batches))
+
+    def result(self) -> list:
+        """Block for the node replies, merge in shard order, and return the
+        per-query results (memoised across calls)."""
+        if self._resolved is None:
+            backend = self._backend
+            shard_parts: List[Optional[list]] = [None] * backend.num_shards
+            for node, shards, pending in self._node_batches:
+                value = backend._node_value(node, pending.wait())
+                if len(value) != len(shards):
+                    raise BackendUnavailableError(
+                        f"node {backend.node_addresses[node]} returned "
+                        f"{len(value)} results for {len(shards)} tasks"
+                    )
+                for shard, part in zip(shards, value):
+                    shard_parts[shard] = part
+            self._resolved = backend._merge_plan(self._compiled, shard_parts)
+            self._node_batches = []
+        return self._resolved
+
+
+class DistributedBackend(ShardedBackend):
+    """Shards answered by remote node servers; merges exactly, like local.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` dataset.  Shipped to every node once at construction
+        (see the module docstring for why full replication is the right
+        trade here).
+    nodes:
+        The node servers, as ``"host:port"`` strings or ``(host, port)``
+        pairs — one ``python -m repro.neighbors.serve`` per entry.
+    num_shards:
+        Global shard count, identical on every node.  Defaults to
+        ``num_nodes * max(1, node_workers)`` so each node's worker slots
+        all receive work.
+    node_workers:
+        Worker processes each node's local pool starts (``0`` = the node
+        answers serially in its connection thread; a ``--workers`` flag on
+        the server overrides this).  Default 0.
+    inner_backend:
+        Per-shard strategy, as for :class:`ShardedBackend`.
+    timeout:
+        Per-call read timeout in seconds (``None`` = wait forever).  When
+        a node exceeds it, the call raises
+        :class:`BackendUnavailableError` and the connection is poisoned.
+    connect_timeout:
+        Socket connect timeout for the initial dial.
+    """
+
+    name = "distributed"
+
+    #: Plans are pipelined onto every node's socket at submit time, so
+    #: speculative plans genuinely overlap the coordinator's other work.
+    supports_speculation: ClassVar[bool] = True
+
+    def __init__(self, points, nodes: Sequence, num_shards: Optional[int] = None,
+                 node_workers: int = 0, inner_backend: str = "auto",
+                 timeout: Optional[float] = None,
+                 connect_timeout: Optional[float] = 10.0) -> None:
+        addresses = [parse_node_address(node) for node in nodes]
+        if not addresses:
+            raise ValueError("DistributedBackend requires at least one node")
+        if num_shards is None:
+            num_shards = len(addresses) * max(1, int(node_workers))
+        # num_workers=0: the coordinator never starts a local pool — the
+        # serial _ShardSet stays as the plan compiler's validation context
+        # only, every actual task goes over the wire.
+        super().__init__(points, num_shards=num_shards, num_workers=0,
+                         inner_backend=inner_backend)
+        self._timeout = timeout
+        self._clients: List[NodeClient] = []
+        try:
+            for host, port in addresses:
+                self._clients.append(
+                    NodeClient(host, port, connect_timeout=connect_timeout,
+                               timeout=timeout)
+                )
+            init = ("init", self._points, self.num_shards,
+                    int(node_workers), self._inner_backend)
+            # Pipelined: every node deserialises the dataset and builds its
+            # backend concurrently, then the replies are drained in order.
+            pendings = [client.send(init) for client in self._clients]
+            for node, pending in enumerate(pendings):
+                value = self._node_value(node, pending.wait())
+                if int(value["num_shards"]) != self.num_shards:
+                    raise BackendUnavailableError(
+                        f"node {self.node_addresses[node]} built "
+                        f"{value['num_shards']} shards, expected "
+                        f"{self.num_shards}"
+                    )
+        except BaseException:
+            for client in self._clients:
+                client.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """How many node servers answer for this backend."""
+        return len(self._clients)
+
+    @property
+    def node_addresses(self) -> List[str]:
+        """The ``host:port`` of every node, in shard-assignment order."""
+        return [f"{client.address[0]}:{client.address[1]}"
+                for client in self._clients]
+
+    @property
+    def parallel(self) -> bool:
+        """Remote dispatch is always 'parallel' in the sense that matters
+        here: tasks leave the coordinator process."""
+        return True
+
+    def _node_for(self, shard: int) -> int:
+        """The node owning ``shard`` (fixed assignment, like the local
+        shard→worker-slot affinity: each shard's index and caches are built
+        on exactly one machine)."""
+        return shard % len(self._clients)
+
+    def _node_value(self, node: int, reply) -> object:
+        """Unwrap one node reply, translating error replies."""
+        if not isinstance(reply, dict) or "status" not in reply:
+            raise BackendUnavailableError(
+                f"node {self.node_addresses[node]} sent a malformed reply"
+            )
+        if reply["status"] != "ok":
+            raise RuntimeError(
+                f"node {self.node_addresses[node]} failed: "
+                f"{reply.get('error')}\n{reply.get('traceback', '')}"
+            )
+        return reply["value"]
+
+    # ------------------------------------------------------------------ #
+    # Transport (replaces the local pool dispatch wholesale)
+    # ------------------------------------------------------------------ #
+    def _group_tasks(self, tasks: Sequence[tuple]) -> List[Tuple[int, list]]:
+        """Group task indices by owning node, nodes in ascending order."""
+        grouped: dict = {}
+        for index, (_, shard, _) in enumerate(tasks):
+            grouped.setdefault(self._node_for(shard), []).append(index)
+        return sorted(grouped.items())
+
+    def _dispatch_tasks(self, tasks: Sequence[tuple]) -> list:
+        """One ``shard_tasks`` RPC per involved node; results in task
+        order.  Requests are written to every node before any reply is
+        read, so the nodes compute concurrently."""
+        batches = []
+        for node, indices in self._group_tasks(tasks):
+            payload = ("shard_tasks", [tasks[index] for index in indices])
+            batches.append((node, indices,
+                            self._clients[node].send(payload)))
+        results: list = [None] * len(tasks)
+        for node, indices, pending in batches:
+            value = self._node_value(node, pending.wait())
+            if len(value) != len(indices):
+                raise BackendUnavailableError(
+                    f"node {self.node_addresses[node]} returned "
+                    f"{len(value)} results for {len(indices)} tasks"
+                )
+            for index, result in zip(indices, value):
+                results[index] = result
+        return results
+
+    def run_shard_tasks(self, tasks: Sequence[tuple]) -> list:
+        """Run a batch of ``(method, shard, args)`` sub-queries on the
+        owning nodes (the remote twin of
+        :meth:`ShardedBackend.run_shard_tasks`)."""
+        tasks = [(str(method), int(shard), tuple(args))
+                 for method, shard, args in tasks]
+        for method, shard, _ in tasks:
+            if method not in SHARD_TASK_METHODS:
+                raise ValueError(f"unknown shard task method {method!r}")
+            if not 0 <= shard < self.num_shards:
+                raise ValueError(
+                    f"shard {shard} out of range [0, {self.num_shards})"
+                )
+        self._stats["fanouts"] += 1
+        self._stats["shard_tasks"] += len(tasks)
+        return self._dispatch_tasks(tasks)
+
+    def _iter_shards(self, method: str, args: tuple, wave: int = None):
+        """Yield per-shard results in shard order, one wave of shards in
+        flight at a time (the wave bounds how many undrained results sit in
+        coordinator memory, exactly like the local pool's version)."""
+        self._stats["fanouts"] += 1
+        self._stats["shard_tasks"] += self.num_shards
+        if wave is None:
+            wave = len(self._clients)
+        wave = max(len(self._clients), min(int(wave), self.num_shards))
+        for start in range(0, self.num_shards, wave):
+            shards = range(start, min(start + wave, self.num_shards))
+            batch = self._dispatch_tasks(
+                [(method, shard, args) for shard in shards]
+            )
+            for result in batch:
+                yield result
+
+    def submit(self, plan: QueryPlan) -> PlanFuture:
+        """Dispatch a plan without waiting: the compiled bundle is written
+        to every node's socket immediately (the PR 5 wire form *is* the RPC
+        payload), and the returned future merges the per-shard partials in
+        shard order on first :meth:`~PlanFuture.result`."""
+        compiled = self._compile_plan(plan)
+        self._stats["plans"] += 1
+        if not compiled.bundle:
+            # Coordinator-only plan: nothing to fan out.
+            return PlanFuture(self._merge_plan(compiled, []))
+        self._stats["fanouts"] += 1
+        self._stats["shard_tasks"] += self.num_shards
+        tasks = [("execute_plan", shard, compiled.shard_args(shard))
+                 for shard in range(self.num_shards)]
+        node_batches = []
+        for node, indices in self._group_tasks(tasks):
+            payload = ("shard_tasks", [tasks[index] for index in indices])
+            node_batches.append((node, [tasks[index][1] for index in indices],
+                                 self._clients[node].send(payload)))
+        return _DistributedPlanFuture(self, compiled, node_batches)
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics / lifecycle
+    # ------------------------------------------------------------------ #
+    def pool_stats(self) -> dict:
+        """Coordinator counters plus every node's own ``pool_stats()``.
+
+        ``nodes`` holds one entry per node (``None`` for a node that is
+        unreachable — diagnostics deliberately do not raise), ``workers``
+        flattens the per-node worker cache stats, and ``stolen_tasks``
+        aggregates the coordinator's count with every reachable node's.
+        """
+        stats = dict(self._stats)
+        stats["num_shards"] = self.num_shards
+        stats["requested_workers"] = self._requested_workers
+        stats["num_nodes"] = self.num_nodes
+        stats["kernel_mode"] = _kernels.KERNEL_MODE
+        stats["speculation"] = self.speculation_stats()
+        node_stats: List[Optional[dict]] = []
+        for node, client in enumerate(self._clients):
+            if not client.alive:
+                node_stats.append(None)
+                continue
+            try:
+                node_stats.append(
+                    self._node_value(node, client.call(("pool_stats",)))
+                )
+            except BackendUnavailableError:
+                node_stats.append(None)
+        stats["nodes"] = node_stats
+        stats["stolen_tasks"] += sum(
+            int(entry.get("stolen_tasks", 0))
+            for entry in node_stats if entry
+        )
+        stats["workers"] = [
+            worker for entry in node_stats if entry
+            for worker in entry.get("workers", [])
+        ]
+        stats["parallel"] = any(
+            entry.get("parallel") for entry in node_stats if entry
+        )
+        return stats
+
+    def close(self) -> None:
+        """Release every node's backend and close the connections.
+
+        Terminal, unlike the local pool's close: the coordinator cannot
+        restart servers it does not own, so queries after ``close`` raise
+        :class:`BackendUnavailableError`.
+        """
+        for client in getattr(self, "_clients", []):
+            if client.alive:
+                try:
+                    client.call(("close_backend",), timeout=5.0)
+                except (BackendUnavailableError, RuntimeError, OSError):
+                    pass
+            client.close()
+        super().close()

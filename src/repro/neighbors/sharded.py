@@ -43,8 +43,11 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
+import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context, shared_memory
 from typing import ClassVar, List, Optional, Sequence, Tuple
@@ -77,6 +80,35 @@ from repro.utils.validation import check_integer, check_points
 #: image keyed by the view's token, so a view's matrix is applied to a shard
 #: at most once per worker process no matter how many queries it answers.
 _VIEW_TOKENS = itertools.count(1)
+
+#: Test seam: ``(method, shard, seconds)`` sleeps that long before running the
+#: matching shard sub-query.  Consulted by :meth:`_ShardSet.run` in whichever
+#: process executes the task (fork-inherited by pool workers started after it
+#: is set), so tests can make exactly one shard artificially slow and pin the
+#: work-stealing scheduler's behaviour without touching query code.
+_TASK_DELAY: Optional[Tuple[str, int, float]] = None
+
+#: Every shard sub-query a task may name: the remote node server dispatches
+#: coordinator-supplied method names, so it validates them against this
+#: allowlist (a registry, not ``getattr`` over an open class surface).
+SHARD_TASK_METHODS = frozenset({
+    "counts",
+    "counts_many",
+    "truncated",
+    "histograms",
+    "execute_plan",
+    "view_heaviest_cells",
+    "view_count_labels",
+    "view_cell_histogram",
+    "view_label_array",
+    "view_label_mask",
+    "view_axis_labels",
+    "view_masked_count",
+    "view_masked_sum",
+    "view_masked_minmax",
+    "view_masked_clipped",
+    "view_masked_axis_hists",
+})
 
 
 def _available_cpus() -> int:
@@ -151,14 +183,28 @@ class _ShardSet:
             name = self.inner_backend
             if name == "auto":
                 name = auto_backend(high - low, shard_points.shape[1])
-            if name == ShardedBackend.name:
-                # Never recurse into sharding; fall through to the remaining
-                # single-process heuristics for a shard this large.
+            if name in (ShardedBackend.name, "distributed"):
+                # Never recurse into sharding (or back out over the wire);
+                # fall through to the remaining single-process heuristics
+                # for a shard this large.
                 d = shard_points.shape[1]
                 name = ("tree" if d <= TREE_MAX_DIMENSION and HAVE_SCIPY_TREE
                         else "chunked")
             self._backends[shard] = BACKENDS[name](shard_points)
         return self._backends[shard]
+
+    def run(self, method: str, shard: int, args: tuple):
+        """Dispatch one shard sub-query (the single entry point shared by
+        the serial path, the pool workers, and the remote node servers —
+        which is where the :data:`SHARD_TASK_METHODS` allowlist and the
+        :data:`_TASK_DELAY` test seam apply uniformly)."""
+        if method not in SHARD_TASK_METHODS:
+            raise ValueError(f"unknown shard task method {method!r}")
+        delay = _TASK_DELAY
+        if (delay is not None and delay[0] == method
+                and int(delay[1]) == int(shard)):
+            time.sleep(float(delay[2]))
+        return getattr(self, method)(shard, *args)
 
     def _centers(self, centers: Optional[np.ndarray]) -> np.ndarray:
         """``None`` is the wire encoding for "the full dataset" (which workers
@@ -181,11 +227,48 @@ class _ShardSet:
 
     def truncated(self, shard: int, k: int) -> np.ndarray:
         """Every dataset point's ``min(k, shard size)`` smallest squared
-        distances to this shard's points, row-sorted."""
+        distances to this shard's points, row-sorted.
+
+        When the shard's inner backend is (or would be) a scipy KD-tree,
+        the cross-query runs through it —
+        :meth:`~repro.neighbors.tree.TreeBackend.truncated_squared_cross`
+        selects neighbour indices in ``O(n k log shard)`` and recomputes the
+        squared values through the shared gather kernel, so the statistic is
+        bitwise the blocked brute force's (the property the truncated-parity
+        suite pins) at a fraction of the distance evaluations.
+        """
         low, high = self.bounds[shard]
         shard_points = self.points[low:high]
+        if self._truncated_via_tree(shard):
+            from repro.neighbors.tree import TreeBackend
+
+            backend = self.backend(shard)
+            if isinstance(backend, TreeBackend) and backend.uses_scipy:
+                return backend.truncated_squared_cross(
+                    self.points, min(int(k), high - low)
+                )
         block = row_block_size(high - low, self.points.shape[1])
         return truncated_squared_cross(self.points, shard_points, k, block)
+
+    def _truncated_via_tree(self, shard: int) -> bool:
+        """Whether this shard's truncated statistic should go through a
+        scipy tree: yes when the shard's inner backend is already a scipy
+        tree, or when the (unbuilt) inner choice would be ``"tree"`` — the
+        one case building the index just for this query pays, because the
+        built backend is the same one later point queries reuse."""
+        from repro.neighbors import HAVE_SCIPY_TREE, auto_backend
+        from repro.neighbors.tree import TreeBackend
+
+        if not HAVE_SCIPY_TREE:
+            return False
+        backend = self._backends.get(shard)
+        if backend is not None:
+            return isinstance(backend, TreeBackend) and backend.uses_scipy
+        low, high = self.bounds[shard]
+        name = self.inner_backend
+        if name == "auto":
+            name = auto_backend(high - low, self.points.shape[1])
+        return name == "tree"
 
     def histograms(self, shard: int, keys: np.ndarray,
                    cap: int) -> np.ndarray:
@@ -592,12 +675,110 @@ def _init_worker(shm_name: str, shape: Tuple[int, int], dtype_str: str,
 
 def _run_shard_task(method: str, shard: int, args: tuple):
     """Dispatch one shard sub-query inside a worker process."""
-    return getattr(_WORKER_SHARDS, method)(shard, *args)
+    return _WORKER_SHARDS.run(method, shard, args)
 
 
 def _worker_cache_stats() -> dict:
     """Report this worker's cache/index occupancy (for ``pool_stats``)."""
     return _WORKER_SHARDS.cache_stats()
+
+
+class _StealingBatch:
+    """Parent-side work-stealing scheduler for one batch of shard tasks.
+
+    With the default topology (shards == worker slots) every slot receives
+    exactly one task and this degenerates to the plain affinity dispatch.
+    When shards outnumber workers, eager per-slot submission would make the
+    batch's wall clock the *slowest slot's queue*, not the slowest task: one
+    slow shard serialises every other shard that hashes to its slot.  So
+    tasks are queued parent-side (per affinity slot, in task order) and
+    submitted one at a time; a slot that drains its own queue *steals* from
+    the tail of the longest remaining queue (deterministic victim: longest
+    queue, smallest slot on ties).  Stealing moves only the *computation* —
+    a stolen task's shard index travels with it, the worker builds the
+    shard's index on demand, and results resolve into per-task proxy
+    futures, so callers still consume them in task order and every merge
+    stays bitwise identical to the serial path.  The steal count is
+    surfaced via ``pool_stats()["stolen_tasks"]``.
+    """
+
+    __slots__ = ("_backend", "_executors", "_tasks", "_lock", "_queues",
+                 "proxies")
+
+    def __init__(self, backend: "ShardedBackend",
+                 executors: List[ProcessPoolExecutor],
+                 tasks: Sequence[tuple]) -> None:
+        self._backend = backend
+        self._executors = executors
+        self._tasks = list(tasks)
+        self._lock = threading.Lock()
+        self.proxies: List[Future] = [Future() for _ in self._tasks]
+        slots = len(executors)
+        self._queues = [deque() for _ in range(slots)]
+        for index, (_, shard, _) in enumerate(self._tasks):
+            self._queues[shard % slots].append(index)
+        for slot in range(slots):
+            self._start_next(slot)
+
+    def _pick(self, slot: int):
+        """The next task index for ``slot`` (own queue first, else steal).
+
+        Caller holds the lock: the queues are shared across the executor
+        manager threads that run the completion hooks.
+        """
+        queue = self._queues[slot]
+        if queue:
+            return queue.popleft(), False
+        if not self._backend.WORK_STEALING:
+            return None, False
+        victim = max(range(len(self._queues)),
+                     key=lambda s: (len(self._queues[s]), -s))
+        if not self._queues[victim]:
+            return None, False
+        # Steal from the tail: the task farthest in the victim's future,
+        # leaving its near-term affinity work (and warm caches) in place.
+        return self._queues[victim].pop(), True
+
+    def _start_next(self, slot: int) -> None:
+        """Submit ``slot``'s next task.
+
+        Only the queue mutation runs under the lock.  In particular the
+        completion hook is attached *outside* it: ``add_done_callback`` on
+        an already-finished future invokes the callback synchronously on
+        the calling thread, and ``_finish`` re-enters ``_start_next`` — a
+        lock held across the attach would self-deadlock the moment a
+        worker wins that race.  Each slot has at most one in-flight task
+        (the next is only submitted from its predecessor's hook), so the
+        per-slot submit sequence needs no lock of its own.
+        """
+        while True:
+            with self._lock:
+                index, stolen = self._pick(slot)
+            if index is None:
+                return
+            method, shard, args = self._tasks[index]
+            proxy = self.proxies[index]
+            try:
+                future = self._executors[slot].submit(
+                    _run_shard_task, method, shard, args
+                )
+            except BaseException as error:  # pool shut down mid-batch
+                proxy.set_exception(error)
+                continue
+            if stolen:
+                self._backend._note_stolen()
+            future.add_done_callback(
+                lambda f, s=slot, p=proxy: self._finish(s, p, f)
+            )
+            return
+
+    def _finish(self, slot: int, proxy: Future, future) -> None:
+        error = future.exception()
+        if error is not None:
+            proxy.set_exception(error)
+        else:
+            proxy.set_result(future.result())
+        self._start_next(slot)
 
 
 # --------------------------------------------------------------------------- #
@@ -848,6 +1029,12 @@ class ShardedBackend(NeighborBackend):
     #: per-shard histograms, the pre-bounded behaviour).
     HEAVIEST_CELL_TOP_K: ClassVar[Optional[int]] = 64
 
+    #: Whether a worker slot that drains its own affinity queue may steal
+    #: queued tasks from other slots (see :class:`_StealingBatch`).  A pure
+    #: wall-clock lever: results are merged in task order either way, so
+    #: released values are bitwise identical with stealing on or off.
+    WORK_STEALING: ClassVar[bool] = True
+
     def __init__(self, points, num_shards: Optional[int] = None,
                  num_workers: Optional[int] = None,
                  inner_backend: str = "auto") -> None:
@@ -874,8 +1061,13 @@ class ShardedBackend(NeighborBackend):
         #: Monotonic fan-out instrumentation, exposed via :meth:`pool_stats`:
         #: ``fanouts`` counts collective operations (each is one round trip
         #: per shard), ``shard_tasks`` the per-shard tasks they dispatched,
-        #: ``plans`` the query plans executed or submitted.
-        self._stats = {"fanouts": 0, "shard_tasks": 0, "plans": 0}
+        #: ``plans`` the query plans executed or submitted, ``stolen_tasks``
+        #: the tasks the work-stealing scheduler moved off their affinity
+        #: slot.  The lock guards the steal counter, which is bumped from
+        #: executor callback threads while overlapping batches are in flight.
+        self._stats = {"fanouts": 0, "shard_tasks": 0, "plans": 0,
+                       "stolen_tasks": 0}
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Topology
@@ -999,6 +1191,59 @@ class ShardedBackend(NeighborBackend):
             _run_shard_task, method, shard, args
         )
 
+    def _note_stolen(self) -> None:
+        """Count one stolen task (called from executor callback threads)."""
+        with self._stats_lock:
+            self._stats["stolen_tasks"] += 1
+
+    def _schedule_shard_tasks(self, executors: List[ProcessPoolExecutor],
+                              tasks: Sequence[tuple]) -> List[Future]:
+        """Dispatch a batch of ``(method, shard, args)`` tasks through the
+        work-stealing scheduler; returns one proxy future per task, in task
+        order."""
+        return _StealingBatch(self, executors, tasks).proxies
+
+    def run_shard_tasks(self, tasks: Sequence[tuple]) -> list:
+        """Run a batch of ``(method, shard, args)`` shard sub-queries.
+
+        The batch entry point shared by the local fan-outs and the remote
+        node server (which forwards a coordinator's task batch here
+        verbatim): validates every method against
+        :data:`SHARD_TASK_METHODS`, runs the batch on the worker pool
+        through the work-stealing scheduler (serially in-process without
+        one), and returns results in task order — so merges downstream are
+        independent of which slot ran what.
+        """
+        tasks = [(str(method), int(shard), tuple(args))
+                 for method, shard, args in tasks]
+        for method, shard, _ in tasks:
+            if method not in SHARD_TASK_METHODS:
+                raise ValueError(f"unknown shard task method {method!r}")
+            if not 0 <= shard < self.num_shards:
+                raise ValueError(
+                    f"shard {shard} out of range [0, {self.num_shards})"
+                )
+        self._stats["fanouts"] += 1
+        self._stats["shard_tasks"] += len(tasks)
+        executors = self._ensure_executors()
+        if executors is None:
+            return [self._shards.run(method, shard, args)
+                    for method, shard, args in tasks]
+        proxies = self._schedule_shard_tasks(executors, tasks)
+        try:
+            return [proxy.result() for proxy in proxies]
+        except (BrokenProcessPool, OSError) as error:  # pragma: no cover
+            self._pool_failed = True
+            self.close()
+            warnings.warn(
+                f"ShardedBackend worker pool died ({error}); retrying on the "
+                "serial in-process path",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return [self._shards.run(method, shard, args)
+                    for method, shard, args in tasks]
+
     def close(self) -> None:
         """Shut down the worker slots and release the shared-memory block.
 
@@ -1044,32 +1289,13 @@ class ShardedBackend(NeighborBackend):
                         per_shard_args: Sequence[tuple]) -> list:
         """Like :meth:`_map_shards`, but with per-shard argument tuples (used
         when each shard receives only its own slice of a payload, e.g. the
-        row subset of a view's axis-label query)."""
-        self._stats["fanouts"] += 1
-        self._stats["shard_tasks"] += self.num_shards
-        executors = self._ensure_executors()
-        shards = range(self.num_shards)
-        if executors is None:
-            return [getattr(self._shards, method)(s, *per_shard_args[s])
-                    for s in shards]
-        try:
-            futures = [
-                self._submit_shard_task(executors, method, s,
-                                        per_shard_args[s])
-                for s in shards
-            ]
-            return [future.result() for future in futures]
-        except (BrokenProcessPool, OSError) as error:  # pragma: no cover
-            self._pool_failed = True
-            self.close()
-            warnings.warn(
-                f"ShardedBackend worker pool died ({error}); retrying on the "
-                "serial in-process path",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            return [getattr(self._shards, method)(s, *per_shard_args[s])
-                    for s in shards]
+        row subset of a view's axis-label query).  Delegates to the batch
+        entry point :meth:`run_shard_tasks`, so every fan-out goes through
+        the same validation and work-stealing scheduler."""
+        return self.run_shard_tasks([
+            (method, shard, per_shard_args[shard])
+            for shard in range(self.num_shards)
+        ])
 
     def _iter_shards(self, method: str, args: tuple, wave: int = None):
         """Like :meth:`_map_shards`, but yield results one shard at a time.
@@ -1085,7 +1311,7 @@ class ShardedBackend(NeighborBackend):
         executors = self._ensure_executors()
         if executors is None:
             for shard in range(self.num_shards):
-                yield getattr(self._shards, method)(shard, *args)
+                yield self._shards.run(method, shard, args)
             return
         if wave is None:
             wave = self._requested_workers
@@ -1114,7 +1340,7 @@ class ShardedBackend(NeighborBackend):
             # Results are yielded in shard order, so resume after the last
             # delivered shard (re-yielding one would corrupt fold merges).
             for shard in range(delivered, self.num_shards):
-                yield getattr(self._shards, method)(shard, *args)
+                yield self._shards.run(method, shard, args)
 
     # ------------------------------------------------------------------ #
     # NeighborBackend protocol
@@ -1466,11 +1692,10 @@ class ShardedBackend(NeighborBackend):
             ]
             return PlanFuture(self._merge_plan(compiled, shard_parts))
         try:
-            futures = [
-                self._submit_shard_task(executors, "execute_plan", shard,
-                                        compiled.shard_args(shard))
+            futures = self._schedule_shard_tasks(executors, [
+                ("execute_plan", shard, compiled.shard_args(shard))
                 for shard in range(self.num_shards)
-            ]
+            ])
         except (BrokenProcessPool, OSError) as error:  # pragma: no cover
             self._pool_failed = True
             self.close()

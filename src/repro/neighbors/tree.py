@@ -20,6 +20,7 @@ from repro.neighbors._distance import (
     row_block_size,
     squared_distance_gather,
     truncated_squared_bruteforce,
+    truncated_squared_cross,
 )
 from repro.neighbors._kdtree import PyKDTree
 from repro.neighbors.base import NeighborBackend
@@ -86,29 +87,50 @@ class TreeBackend(NeighborBackend):
 
     def _compute_truncated_squared(self, k: int) -> np.ndarray:
         if self._scipy:
-            _, indices = self._tree.query(self._points, k=k, workers=-1)
-            indices = np.asarray(indices, dtype=np.int64)
-            if indices.ndim == 1:
-                indices = indices.reshape(-1, 1)
-            # The query's returned distances are sqrt-rounded; recompute the
-            # squared values from the neighbour indices through the shared
-            # gather kernel, whose rounding matches the blocked brute-force
-            # kernel to the last ulp — so the statistic (and everything
-            # derived from it, e.g. kth_distances) matches the other backends
-            # bit-for-bit even on generic float data.
-            n, d = self._points.shape
-            squared = np.empty((n, k), dtype=float)
-            block = max(16, DEFAULT_MEMORY_BUDGET // max(1, 16 * k * d))
-            for start in range(0, n, block):
-                chunk = squared_distance_gather(
-                    self._points[start:start + block],
-                    self._points[indices[start:start + block]],
-                )
-                chunk.sort(axis=1)
-                squared[start:start + block] = chunk
-            return squared
+            return self.truncated_squared_cross(self._points, k)
         block = row_block_size(self.num_points, self.dimension)
         return truncated_squared_bruteforce(self._points, k, block)
+
+    def truncated_squared_cross(self, queries, k: int) -> np.ndarray:
+        """Each query row's ``min(k, n)`` smallest squared distances to this
+        backend's points, row-sorted — the tree-accelerated twin of
+        :func:`repro.neighbors._distance.truncated_squared_cross`.
+
+        The sharded backend's per-shard truncated statistic is exactly this
+        shape (queries = the full dataset, data = one shard), so a shard
+        whose inner backend is a scipy tree answers it in ``O(m k log n)``
+        instead of the ``O(m n)`` blocked brute force.  Bitwise parity with
+        the brute-force kernel holds by the same recipe as the self-query
+        case: the tree only *selects* the neighbour indices, and the squared
+        values are recomputed from those indices through the shared gather
+        kernel, whose rounding matches the blocked kernel to the last ulp.
+        """
+        queries = np.ascontiguousarray(np.asarray(queries, dtype=float))
+        k = min(int(k), self.num_points)
+        if not self._scipy:
+            block = row_block_size(self.num_points, self.dimension)
+            return truncated_squared_cross(queries, self._points, k, block)
+        _, indices = self._tree.query(queries, k=k, workers=-1)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim == 1:
+            indices = indices.reshape(-1, 1)
+        # The query's returned distances are sqrt-rounded; recompute the
+        # squared values from the neighbour indices through the shared
+        # gather kernel, whose rounding matches the blocked brute-force
+        # kernel to the last ulp — so the statistic (and everything
+        # derived from it, e.g. kth_distances) matches the other backends
+        # bit-for-bit even on generic float data.
+        m, d = queries.shape
+        squared = np.empty((m, k), dtype=float)
+        block = max(16, DEFAULT_MEMORY_BUDGET // max(1, 16 * k * d))
+        for start in range(0, m, block):
+            chunk = squared_distance_gather(
+                queries[start:start + block],
+                self._points[indices[start:start + block]],
+            )
+            chunk.sort(axis=1)
+            squared[start:start + block] = chunk
+        return squared
 
 
 __all__ = ["HAVE_SCIPY_TREE", "TreeBackend"]

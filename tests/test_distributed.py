@@ -1,0 +1,692 @@
+"""Tests for the distributed neighbor backend and its wire protocol.
+
+The contract, in three layers:
+
+* **Wire** (:mod:`repro.neighbors.rpc`): the tagged binary encoding
+  round-trips every payload the backend ships — float64 *bit patterns*
+  included — and rejects anything it cannot carry faithfully, so a value
+  never changes by crossing a socket.
+* **Parity**: a :class:`~repro.neighbors.distributed.DistributedBackend`
+  over 1/2/3 loopback node servers releases *bitwise* the same values as
+  the dense in-process reference — raw queries, fused plans, GoodRadius,
+  GoodCenter (both projection paths, speculation on and off), and
+  k_cluster through the config path.  Shard partials merge in shard order
+  no matter which socket answered them, so this is parity by construction;
+  these tests pin that the construction holds.
+* **Failure**: a dead node, a dropped connection, a truncated frame, or a
+  blown per-call timeout raises a clean
+  :class:`~repro.neighbors.BackendUnavailableError` — no hang, and never a
+  merge of a subset of shards.
+
+Plus the two scheduler features that ride along: work stealing within the
+local pool's shard→worker affinity groups, and the tree-backed per-shard
+truncated statistic (property-tested against the brute-force kernel).
+"""
+
+import os
+import struct
+import subprocess
+import sys
+import time
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+import repro.neighbors.sharded as sharded_module
+from repro.accounting.params import PrivacyParams
+from repro.clustering.k_cluster import k_cluster
+from repro.core.config import OneClusterConfig
+from repro.core.good_center import good_center
+from repro.core.good_radius import good_radius
+from repro.neighbors import (
+    BackendUnavailableError,
+    DenseBackend,
+    QueryPlan,
+    ShardedBackend,
+    resolve_backend,
+)
+from repro.neighbors._distance import truncated_squared_cross
+from repro.neighbors.distributed import DistributedBackend
+from repro.neighbors.rpc import NodeClient, decode, encode, parse_node_address
+from repro.neighbors.serve import NodeServer
+from repro.neighbors.tree import TreeBackend
+
+# `repro.core.__init__` re-exports the good_center *function* as an
+# attribute of the package, shadowing the submodule on attribute lookup —
+# go through sys.modules for the module object (the speculation seam).
+good_center_module = sys.modules["repro.core.good_center"]
+
+NODE_COUNTS = (1, 2, 3)
+
+DATASETS = {
+    "random-2d": np.random.default_rng(0).uniform(size=(120, 2)),
+    "duplicates": np.vstack([
+        np.zeros((7, 3)),
+        np.ones((4, 3)),
+        np.random.default_rng(3).uniform(size=(30, 3)),
+        np.zeros((3, 3)),
+    ]),
+}
+
+
+@contextmanager
+def node_cluster(count):
+    """``count`` in-thread loopback node servers; yields their addresses."""
+    servers = [NodeServer().start() for _ in range(count)]
+    try:
+        yield [server.address for server in servers]
+    finally:
+        for server in servers:
+            server.stop()
+
+
+@contextmanager
+def distributed_backend(points, num_nodes, **kwargs):
+    """A DistributedBackend over fresh in-thread nodes, closed on exit."""
+    with node_cluster(num_nodes) as addresses:
+        backend = DistributedBackend(points, nodes=addresses, **kwargs)
+        try:
+            yield backend
+        finally:
+            backend.close()
+
+
+def results_equal(a, b) -> bool:
+    """Bitwise equality of query *results* across backends: exact array
+    dtypes and bytes, recursive containers, plain ``==`` for scalars."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a, b = np.asarray(a), np.asarray(b)
+        return (a.dtype == b.dtype and a.shape == b.shape
+                and a.tobytes() == b.tobytes())
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(map(results_equal, a, b))
+    return bool(a == b)
+
+
+def wire_equal(a, b) -> bool:
+    """Structural equality for decoded wire values: exact types, exact
+    array bits (``nan == nan`` included)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)
+                and a.dtype == b.dtype and a.shape == b.shape
+                and a.tobytes() == b.tobytes())
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(map(wire_equal, a, b))
+    if isinstance(a, dict):
+        return (set(a) == set(b)
+                and all(wire_equal(a[key], b[key]) for key in a))
+    if isinstance(a, float):
+        return struct.pack(">d", a) == struct.pack(">d", b)
+    return a == b
+
+
+class TestWireEncoding:
+    """encode/decode is the identity on everything the backend ships."""
+
+    def test_scalars_round_trip(self):
+        values = [None, True, False, 0, -1, 7, 2**62, -(2**62),
+                  2**200, -(2**200),  # beyond int64: decimal-text fallback
+                  "", "shifted boxes — ω", b"", b"\x00\xff frame"]
+        for value in values:
+            assert wire_equal(decode(encode(value)), value), value
+
+    def test_float_bit_patterns_survive(self):
+        specials = [0.0, -0.0, 1.0 / 3.0, float("inf"), float("-inf"),
+                    float("nan"), 5e-324, np.nextafter(1.0, 2.0)]
+        for value in specials:
+            out = decode(encode(value))
+            assert struct.pack(">d", out) == struct.pack(">d", value)
+
+    def test_containers_preserve_shape(self):
+        value = {"a": [1, (2.5, None)], 3: ("rows", [True, b"x"]),
+                 None: {}, 2.5: [[]], False: ()}
+        out = decode(encode(value))
+        assert wire_equal(out, value)
+        # Tuples and lists are distinct on the wire: spec dispatch depends
+        # on it.
+        assert isinstance(decode(encode((1, 2))), tuple)
+        assert isinstance(decode(encode([1, 2])), list)
+
+    def test_arrays_round_trip(self):
+        rng = np.random.default_rng(5)
+        arrays = [
+            rng.normal(size=(4, 3)),
+            np.arange(6, dtype=np.int64).reshape(2, 3)[:, ::-1],  # non-C
+            np.array([], dtype=float),
+            np.array(True),                                        # 0-d
+            np.float64(2.5),
+            np.zeros((2, 0, 3)),
+        ]
+        for array in arrays:
+            out = decode(encode(array))
+            expected = np.asarray(array, order="C")
+            assert out.dtype == expected.dtype
+            assert out.shape == expected.shape
+            assert out.tobytes() == expected.tobytes()
+        # Decoded arrays are writable copies, never views of the buffer.
+        out = decode(encode(np.zeros(3)))
+        out[0] = 1.0
+
+    def test_rejects_what_it_cannot_carry(self):
+        with pytest.raises(TypeError):
+            encode(object())
+        with pytest.raises(TypeError):
+            encode({(1, 2): "tuple keys do not round-trip"})
+        with pytest.raises(TypeError):
+            encode({"ok": {"nested": object()}})
+
+    def test_box_selection_spec_round_trips_tokens(self):
+        """The BoxSelection wire spec — selection token, view cache token,
+        matrix, shifts, label — must cross the encoder unchanged, tokens
+        explicitly included (they key worker-side membership memoisation,
+        so a dropped or renumbered token silently kills the cache)."""
+        points = DATASETS["random-2d"]
+        backend = ShardedBackend(points, num_shards=3, num_workers=0)
+        matrix = np.random.default_rng(11).normal(size=(2, 2))
+        view = backend.view(matrix)
+        selection = view.box_selection(0.25, np.zeros(2), [1, -2])
+        spec = backend._selection_specs(selection)[0]
+        out = decode(encode(spec))
+        assert wire_equal(out, spec)
+        assert out[0] == "box"
+        assert out[1] == selection.token and isinstance(out[1], int)
+        assert out[2] == view._token
+        backend.close()
+
+    def test_compiled_plan_payload_round_trips(self):
+        """Every shard's full execute_plan payload survives the wire, and
+        re-encoding the decoded payload is byte-identical (the encoding is
+        canonical, so payloads can be compared and cached by bytes)."""
+        points = DATASETS["duplicates"]
+        backend = ShardedBackend(points, num_shards=3, num_workers=0)
+        view = backend.view(None)
+        selection = view.box_selection(0.5, np.zeros(points.shape[1]),
+                                       np.zeros(points.shape[1]))
+        plan = QueryPlan()
+        plan.count_within_many(points[:4], [0.5, 1.0])
+        plan.masked_count(view, selection)
+        plan.masked_sum(view, selection)
+        plan.masked_axis_histograms(view, selection, 0.5)
+        compiled = backend._compile_plan(plan)
+        for shard in range(backend.num_shards):
+            payload = encode(compiled.shard_args(shard))
+            assert wire_equal(decode(payload), compiled.shard_args(shard))
+            assert encode(decode(payload)) == payload
+        backend.close()
+
+    def test_parse_node_address(self):
+        assert parse_node_address("127.0.0.1:7400") == ("127.0.0.1", 7400)
+        assert parse_node_address(("::1", 7400)) == ("::1", 7400)
+        with pytest.raises(ValueError):
+            parse_node_address("no-port")
+
+
+class TestLoopbackParity:
+    """Releases are bitwise identical across 1/2/3-node topologies."""
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    @pytest.mark.parametrize("num_nodes", NODE_COUNTS)
+    def test_raw_queries_identical(self, name, num_nodes):
+        points = DATASETS[name]
+        dense = DenseBackend(points)
+        with distributed_backend(points, num_nodes, num_shards=5) as backend:
+            assert backend.num_nodes == num_nodes
+            for radius in (-1.0, 0.0, 0.3, 1.5, 10.0):
+                assert np.array_equal(backend.radius_counts(radius),
+                                      dense.radius_counts(radius))
+            centers = points[:7] + 0.1
+            assert np.array_equal(
+                backend.query_radius_counts(centers, 0.4),
+                dense.query_radius_counts(centers, 0.4),
+            )
+            radii = np.array([0.0, 0.2, 0.7, 3.0])
+            for target in (1, 5, points.shape[0]):
+                assert np.array_equal(
+                    backend.capped_average_scores(radii, target),
+                    dense.capped_average_scores(radii, target),
+                )
+            for k in (1, points.shape[0] // 2, points.shape[0]):
+                assert np.array_equal(backend.kth_distances(k),
+                                      dense.kth_distances(k))
+
+    @pytest.mark.parametrize("num_nodes", NODE_COUNTS)
+    def test_plan_execute_and_submit_identical(self, num_nodes):
+        points = DATASETS["random-2d"]
+        dense = DenseBackend(points)
+
+        def build(backend):
+            view = backend.view(np.eye(2)[::-1].copy())
+            selection = view.box_selection(0.25, np.zeros(2), [1, 1])
+            plan = QueryPlan()
+            plan.count_within_many(points[:5], [0.3, 0.8])
+            plan.heaviest_cell_counts(view, 0.25, np.zeros((3, 2)))
+            plan.masked_count(view, selection)
+            plan.masked_sum(view, selection)
+            plan.masked_minmax(view, selection)
+            plan.masked_axis_histograms(view, selection, 0.25)
+            return plan
+
+        reference = dense.execute(build(dense))
+        with distributed_backend(points, num_nodes, num_shards=4) as backend:
+            executed = backend.execute(build(backend))
+            future = backend.submit(build(backend))
+            submitted = future.result()
+            assert future.done()
+        for got in (executed, submitted):
+            assert len(got) == len(reference)
+            for slot, (value, expected) in enumerate(zip(got, reference)):
+                assert results_equal(value, expected), slot
+
+    @pytest.mark.parametrize("num_nodes", NODE_COUNTS)
+    def test_good_radius_release_identical(self, small_cluster_data,
+                                           loose_params, num_nodes):
+        points = small_cluster_data.points
+        reference = good_radius(points, 200, loose_params, rng=11,
+                                backend="dense")
+        with distributed_backend(points, num_nodes, num_shards=4) as backend:
+            released = good_radius(points, 200, loose_params, rng=11,
+                                   backend=backend)
+        assert released.radius == reference.radius
+        assert released.score == reference.score
+
+    @pytest.mark.parametrize("num_nodes", NODE_COUNTS)
+    def test_good_center_identity_path_release_identical(
+            self, medium_cluster_data, num_nodes):
+        points = medium_cluster_data.points
+        params = PrivacyParams(8.0, 1e-5)
+        reference = good_center(points, radius=0.05, target=400,
+                                params=params, rng=3)
+        with distributed_backend(points, num_nodes, num_shards=4) as backend:
+            released = good_center(points, radius=0.05, target=400,
+                                   params=params, rng=3, backend=backend)
+        assert released.projected_dimension == points.shape[1]
+        assert released.found == reference.found
+        assert released.attempts == reference.attempts
+        if reference.found:
+            assert np.array_equal(released.center, reference.center)
+            assert released.radius_bound == reference.radius_bound
+
+    @pytest.mark.parametrize("num_nodes", NODE_COUNTS)
+    def test_good_center_jl_path_release_identical(self, jl_cluster_points,
+                                                   num_nodes):
+        from repro.core.config import GoodCenterConfig
+
+        config = GoodCenterConfig(jl_constant=0.3)
+        params = PrivacyParams(16.0, 1e-4)
+        reference = good_center(jl_cluster_points, radius=0.1, target=700,
+                                params=params, config=config, rng=1)
+        with distributed_backend(jl_cluster_points, num_nodes,
+                                 num_shards=3) as backend:
+            released = good_center(jl_cluster_points, radius=0.1, target=700,
+                                   params=params, config=config, rng=1,
+                                   backend=backend)
+        assert released.projected_dimension < jl_cluster_points.shape[1]
+        assert released.found == reference.found
+        assert released.attempts == reference.attempts
+        if reference.found:
+            assert np.array_equal(released.center, reference.center)
+            assert released.radius_bound == reference.radius_bound
+
+    @pytest.fixture(scope="class")
+    def jl_cluster_points(self):
+        rng = np.random.default_rng(3)
+        dimension = 8
+        center = np.full(dimension, 0.5)
+        cluster = center + rng.normal(0, 0.015, size=(900, dimension))
+        noise = rng.uniform(0, 1, size=(300, dimension))
+        return np.vstack([cluster, noise])
+
+    def test_speculation_does_not_change_release(self, medium_cluster_data,
+                                                 monkeypatch):
+        """DistributedBackend pipelines speculative plans onto the node
+        sockets; hit or miss, the release must not move a byte."""
+        points = medium_cluster_data.points
+        params = PrivacyParams(8.0, 1e-5)
+        with distributed_backend(points, 2, num_shards=4) as backend:
+            assert backend.supports_speculation
+            speculated = good_center(points, radius=0.05, target=400,
+                                     params=params, rng=3, backend=backend)
+            stats = backend.pool_stats()["speculation"]
+        monkeypatch.setattr(good_center_module, "_SPECULATIVE_PLANS", False)
+        with distributed_backend(points, 2, num_shards=4) as backend:
+            plain = good_center(points, radius=0.05, target=400,
+                                params=params, rng=3, backend=backend)
+        speculated_plans = sum(entry.get("hits", 0) + entry.get("misses", 0)
+                               for entry in stats.values())
+        assert speculated_plans > 0
+        assert speculated.found == plain.found
+        assert speculated.attempts == plain.attempts
+        if plain.found:
+            assert np.array_equal(speculated.center, plain.center)
+            assert speculated.radius_bound == plain.radius_bound
+
+    def test_k_cluster_release_identical_via_config(self):
+        from repro.datasets.synthetic import gaussian_blobs
+
+        points, _, _ = gaussian_blobs(n=500, d=2, k=2, spread=0.02, rng=6)
+        params = PrivacyParams(10.0, 1e-5)
+        reference = k_cluster(points, k=2, params=params, rng=9)
+        with node_cluster(2) as addresses:
+            config = OneClusterConfig(neighbor_backend="distributed",
+                                      neighbor_nodes=tuple(addresses))
+            released = k_cluster(points, k=2, params=params, rng=9,
+                                 config=config)
+        assert released.num_found == reference.num_found
+        assert released.covered_fraction == reference.covered_fraction
+        for ball, expected in zip(released.balls, reference.balls):
+            assert np.array_equal(ball.center, expected.center)
+            assert ball.radius == expected.radius
+
+    def test_resolve_backend_requires_nodes(self):
+        points = DATASETS["random-2d"]
+        with pytest.raises(ValueError, match="node servers"):
+            resolve_backend(points, "distributed")
+        with pytest.raises(ValueError):
+            OneClusterConfig(neighbor_backend="distributed")
+        config = OneClusterConfig(neighbor_backend="distributed",
+                                  neighbor_nodes=("127.0.0.1:1",),
+                                  neighbor_workers=2)
+        assert config.neighbor_backend_options() == {
+            "nodes": ["127.0.0.1:1"], "node_workers": 2,
+        }
+
+    def test_resolve_backend_builds_distributed(self):
+        points = DATASETS["random-2d"]
+        with node_cluster(1) as addresses:
+            backend = resolve_backend(points, "distributed",
+                                      options={"nodes": addresses})
+            try:
+                assert isinstance(backend, DistributedBackend)
+                assert backend.node_addresses == addresses
+                assert np.array_equal(
+                    backend.radius_counts(0.4),
+                    DenseBackend(points).radius_counts(0.4),
+                )
+            finally:
+                backend.close()
+
+    def test_pool_stats_aggregates_nodes(self):
+        points = DATASETS["random-2d"]
+        with distributed_backend(points, 2, num_shards=4) as backend:
+            backend.radius_counts(0.5)
+            stats = backend.pool_stats()
+        assert stats["num_nodes"] == 2
+        assert len(stats["nodes"]) == 2
+        assert all(entry is not None for entry in stats["nodes"])
+        assert stats["fanouts"] >= 1
+        assert stats["stolen_tasks"] == 0  # serial nodes never steal
+
+
+class TestFaultInjection:
+    """Failures surface as clean errors: no hang, no partial merge."""
+
+    def test_per_call_timeout_fires(self, monkeypatch):
+        """A stalled node must not hang the coordinator: the configured
+        per-call timeout raises BackendUnavailableError and poisons the
+        connection, so the next call fails fast too."""
+        points = DATASETS["random-2d"]
+        # In-thread server + serial node = the node's shard tasks run in
+        # this process, so the _TASK_DELAY seam stalls shard 0 for real.
+        monkeypatch.setattr(sharded_module, "_TASK_DELAY",
+                            ("counts", 0, 2.0))
+        with distributed_backend(points, 1, num_shards=2,
+                                 timeout=0.4) as backend:
+            start = time.monotonic()
+            with pytest.raises(BackendUnavailableError, match="timeout"):
+                backend.radius_counts(0.5)
+            assert time.monotonic() - start < 1.5
+            start = time.monotonic()
+            with pytest.raises(BackendUnavailableError):
+                backend.radius_counts(0.5)  # poisoned: fails fast
+            assert time.monotonic() - start < 0.1
+
+    def test_dropped_connection_mid_read(self):
+        """A node closing its socket instead of replying is a clean error,
+        and diagnostics keep working around the dead node."""
+        points = DATASETS["random-2d"]
+        with distributed_backend(points, 2, num_shards=4) as backend:
+            backend._clients[0].send(("debug_drop",))
+            # Depending on timing the OS reports the dead peer as a clean
+            # EOF or a connection reset; both must surface as the same
+            # clean error type.
+            with pytest.raises(BackendUnavailableError, match="node"):
+                backend.radius_counts(0.5)
+            with pytest.raises(BackendUnavailableError):
+                backend.kth_distances(2)  # still dead, still clean
+            stats = backend.pool_stats()  # never raises
+            assert stats["nodes"][0] is None
+            assert stats["nodes"][1] is not None
+
+    def test_truncated_frame_mid_read(self):
+        """A frame whose header promises more bytes than arrive (the peer
+        died mid-write) surfaces as mid-message EOF, not a hang."""
+        points = DATASETS["random-2d"]
+        with distributed_backend(points, 2, num_shards=4) as backend:
+            backend._clients[1].send(("debug_truncate",))
+            # Usually "mid-message" EOF; occasionally the server's close
+            # RSTs the socket before the buffered half-frame is read.
+            # Either way the error type must be the clean one.
+            with pytest.raises(BackendUnavailableError, match="node"):
+                backend.query_radius_counts(points[:3], 0.4)
+
+    def test_no_partial_merge_on_submit(self):
+        """A plan whose node died mid-flight raises from result() — it
+        never merges the surviving shards' partials into a value."""
+        points = DATASETS["random-2d"]
+        with distributed_backend(points, 2, num_shards=4) as backend:
+            # Stall node 0 behind a long sleep, then drop it: the plan's
+            # tasks for shards 0 and 2 are queued behind the sleep and the
+            # connection dies before they answer.
+            backend._clients[0].send(("debug_drop",))
+            plan = QueryPlan()
+            plan.count_within_many(points[:4], [0.5])
+            future = backend.submit(plan)
+            with pytest.raises(BackendUnavailableError):
+                future.result()
+            with pytest.raises(BackendUnavailableError):
+                future.result()  # still an error on re-ask, never a value
+
+    def test_queries_after_close_raise(self):
+        points = DATASETS["random-2d"]
+        with node_cluster(1) as addresses:
+            backend = DistributedBackend(points, nodes=addresses,
+                                         num_shards=2)
+            backend.close()
+            with pytest.raises(BackendUnavailableError):
+                backend.radius_counts(0.5)
+
+    def test_init_failure_closes_clients(self):
+        points = DATASETS["random-2d"]
+        with pytest.raises((BackendUnavailableError, OSError)):
+            DistributedBackend(points, nodes=["127.0.0.1:1"],
+                               connect_timeout=0.5)
+
+    def test_worker_exception_travels_without_killing_connection(self):
+        """A node-side *computation* error is an op failure, not a
+        transport failure: it raises RuntimeError with the node traceback
+        and the connection keeps serving."""
+        points = DATASETS["random-2d"]
+        with distributed_backend(points, 1, num_shards=2) as backend:
+            with pytest.raises(RuntimeError, match="failed"):
+                backend._node_value(
+                    0, backend._clients[0].call(("no_such_op",))
+                )
+            assert np.array_equal(
+                backend.radius_counts(0.4),
+                DenseBackend(points).radius_counts(0.4),
+            )
+
+    @pytest.mark.slow
+    def test_killed_node_process_mid_plan(self):
+        """The acceptance scenario: a real node *process* killed while a
+        plan is in flight.  result() raises BackendUnavailableError within
+        seconds — no hang, no partial merge — and the surviving node keeps
+        answering a replacement backend."""
+        points = DATASETS["random-2d"]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")])
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.neighbors.serve", "--port", "0"],
+            stdout=subprocess.PIPE, text=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        try:
+            banner = proc.stdout.readline().split()
+            assert banner[0] == "LISTENING"
+            victim = f"{banner[1]}:{banner[2]}"
+            with node_cluster(1) as survivors:
+                backend = DistributedBackend(points,
+                                             nodes=[victim, survivors[0]],
+                                             num_shards=4)
+                try:
+                    # Queue a long stall on the victim, then a plan behind
+                    # it, then kill the process mid-flight.
+                    backend._clients[0].send(("debug_sleep", 60.0))
+                    plan = QueryPlan()
+                    plan.count_within_many(points[:4], [0.5, 1.0])
+                    future = backend.submit(plan)
+                    proc.kill()
+                    start = time.monotonic()
+                    with pytest.raises(BackendUnavailableError):
+                        future.result()
+                    assert time.monotonic() - start < 10.0
+                finally:
+                    backend.close()
+                # The surviving node is unharmed: a fresh backend over it
+                # alone still matches the dense reference.
+                replacement = DistributedBackend(points, nodes=survivors,
+                                                 num_shards=2)
+                try:
+                    assert np.array_equal(
+                        replacement.radius_counts(0.5),
+                        DenseBackend(points).radius_counts(0.5),
+                    )
+                finally:
+                    replacement.close()
+        finally:
+            proc.kill()
+            proc.wait(timeout=10)
+            proc.stdout.close()
+
+
+class TestWorkStealing:
+    """Shard→worker affinity with stealing: idle slots drain the longest
+    queue's tail, and stealing never moves a released byte."""
+
+    def test_serial_backend_never_steals(self):
+        points = DATASETS["random-2d"]
+        backend = ShardedBackend(points, num_shards=6, num_workers=0)
+        backend.radius_counts(0.5)
+        assert backend.pool_stats()["stolen_tasks"] == 0
+        backend.close()
+
+    @pytest.mark.slow
+    def test_pool_steals_from_slow_shard_and_matches_serial(self,
+                                                            monkeypatch):
+        """Shards ≫ workers with one seam-stalled shard: the idle slot
+        steals the stalled slot's queued shards, pool_stats records it, and
+        every count is bitwise the serial run's."""
+        points = np.random.default_rng(8).uniform(size=(400, 3))
+        radii = (0.0, 0.3, 0.8)
+        serial = ShardedBackend(points, num_shards=8, num_workers=0)
+        expected = [serial.radius_counts(r) for r in radii]
+        serial.close()
+        # Shard 0 (slot 0) stalls; slot 1 finishes its own shards and must
+        # steal from slot 0's queue.  The seam is consulted inside the
+        # forked workers, so it is set before the pool is created.
+        monkeypatch.setattr(sharded_module, "_TASK_DELAY",
+                            ("counts", 0, 0.75))
+        pool = ShardedBackend(points, num_shards=8, num_workers=2)
+        try:
+            got = [pool.radius_counts(r) for r in radii]
+            stats = pool.pool_stats()
+        finally:
+            pool.close()
+        assert stats["parallel"], "pool fell back to serial; seam untested"
+        assert stats["stolen_tasks"] > 0
+        for counts, reference in zip(got, expected):
+            assert np.array_equal(counts, reference)
+
+    @pytest.mark.slow
+    def test_stealing_disabled_keeps_affinity(self, monkeypatch):
+        monkeypatch.setattr(ShardedBackend, "WORK_STEALING", False)
+        monkeypatch.setattr(sharded_module, "_TASK_DELAY",
+                            ("counts", 0, 0.25))
+        points = np.random.default_rng(9).uniform(size=(200, 2))
+        pool = ShardedBackend(points, num_shards=6, num_workers=2)
+        try:
+            counts = pool.radius_counts(0.4)
+            stats = pool.pool_stats()
+        finally:
+            pool.close()
+        assert stats["stolen_tasks"] == 0
+        assert np.array_equal(counts, DenseBackend(points).radius_counts(0.4))
+
+
+class TestTreeTruncatedCross:
+    """The tree-backed per-shard truncated statistic is bitwise the
+    brute-force kernel on every input — duplicates, boundary ties, d=1,
+    d=24 — because the tree only *selects* the k nearest rows; the squared
+    distances are recomputed by the same gather kernel and row-sorted."""
+
+    def test_matches_bruteforce_on_fixed_cases(self):
+        for name, points in DATASETS.items():
+            backend = TreeBackend(points)
+            queries = np.vstack([points[:9], points[:3] + 0.125])
+            for k in (1, 2, points.shape[0] // 2, points.shape[0]):
+                got = backend.truncated_squared_cross(queries, k)
+                expected = truncated_squared_cross(queries, points, k, 64)
+                assert got.tobytes() == expected.tobytes(), (name, k)
+
+    def test_sharded_tree_inner_matches_chunked_inner(self):
+        points = np.random.default_rng(4).uniform(size=(90, 2))
+        radii = np.array([0.0, 0.2, 0.6, 2.0])
+        tree = ShardedBackend(points, num_shards=3, num_workers=0,
+                              inner_backend="tree")
+        chunked = ShardedBackend(points, num_shards=3, num_workers=0,
+                                 inner_backend="chunked")
+        for target in (1, 9, 45, 90):
+            assert np.array_equal(
+                tree.capped_average_scores(radii, target),
+                chunked.capped_average_scores(radii, target),
+            )
+        tree.close()
+        chunked.close()
+
+    def test_property_parity_with_oracle(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        from hypothesis import given, settings, strategies as st
+
+        coord = st.sampled_from([-1.0, -0.5, 0.0, 0.25, 0.5, 1.0, 3.0])
+
+        @st.composite
+        def cases(draw):
+            d = draw(st.sampled_from([1, 2, 24]))
+            n = draw(st.integers(min_value=1, max_value=25))
+            rows = draw(st.lists(
+                st.lists(coord, min_size=d, max_size=d),
+                min_size=n, max_size=n,
+            ))
+            k = draw(st.integers(min_value=1, max_value=n + 3))
+            q = draw(st.integers(min_value=1, max_value=n))
+            return np.array(rows, dtype=float), k, q
+
+        @settings(max_examples=40, deadline=None)
+        @given(cases())
+        def run(case):
+            points, k, q = case
+            backend = TreeBackend(points)
+            queries = points[:q]
+            got = backend.truncated_squared_cross(queries, k)
+            expected = truncated_squared_cross(
+                queries, points, min(k, points.shape[0]), 32
+            )
+            assert got.shape == expected.shape
+            assert got.tobytes() == expected.tobytes()
+
+        run()
