@@ -567,6 +567,13 @@ def bench_json_distributed(n: int, rng_seed: int, num_nodes: int) -> dict:
         "plans": int(stats["plans"]),
         "kernel_mode": stats["kernel_mode"],
         "speculation": speculation_summary(stats),
+        # Failover counters: all zero on a healthy loopback run — a
+        # nonzero value in a trajectory row means the bench itself hit
+        # node trouble and its wall time is not comparable.
+        "redials": int(stats["redials"]),
+        "adopted_shards": int(stats["adopted_shards"]),
+        "replayed_tasks": int(stats["replayed_tasks"]),
+        "live_nodes": int(stats["live_nodes"]),
     }
 
 

@@ -279,6 +279,16 @@ class OneClusterConfig:
         ``python -m repro.neighbors.serve`` per entry) for
         ``neighbor_backend="distributed"`` — required by, and only
         consulted for, that strategy.
+    neighbor_node_retries:
+        Re-dial attempts per node failure before the distributed backend
+        declares the node dead and hands its shards to the survivors
+        (``0`` disables failover: the first transport failure raises).
+        ``None`` — the default — keeps the backend's own default.  Only
+        consulted for ``neighbor_backend="distributed"``.
+    neighbor_node_retry_backoff:
+        Base sleep in seconds before re-dial attempt ``i`` (grows as
+        ``backoff * 2**i``).  ``None`` keeps the backend's default.  Only
+        consulted for ``neighbor_backend="distributed"``.
     """
 
     center: GoodCenterConfig = field(default_factory=GoodCenterConfig.practical)
@@ -289,6 +299,8 @@ class OneClusterConfig:
     neighbor_backend: str = "auto"
     neighbor_workers: Optional[int] = None
     neighbor_nodes: Optional[Tuple[str, ...]] = None
+    neighbor_node_retries: Optional[int] = None
+    neighbor_node_retry_backoff: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.radius_method not in ("recconcave", "binary_search"):
@@ -316,6 +328,18 @@ class OneClusterConfig:
         if self.neighbor_nodes is not None:
             object.__setattr__(self, "neighbor_nodes",
                                tuple(str(node) for node in self.neighbor_nodes))
+        if (self.neighbor_node_retries is not None
+                and self.neighbor_node_retries < 0):
+            raise ValueError(
+                f"neighbor_node_retries must be non-negative or None, got "
+                f"{self.neighbor_node_retries}"
+            )
+        if (self.neighbor_node_retry_backoff is not None
+                and self.neighbor_node_retry_backoff < 0):
+            raise ValueError(
+                f"neighbor_node_retry_backoff must be non-negative or None, "
+                f"got {self.neighbor_node_retry_backoff}"
+            )
         if (self.neighbor_backend == DISTRIBUTED_BACKEND_NAME
                 and not self.neighbor_nodes):
             raise ValueError(
@@ -336,6 +360,10 @@ class OneClusterConfig:
             options: dict = {"nodes": list(self.neighbor_nodes)}
             if self.neighbor_workers is not None:
                 options["node_workers"] = self.neighbor_workers
+            if self.neighbor_node_retries is not None:
+                options["retries"] = self.neighbor_node_retries
+            if self.neighbor_node_retry_backoff is not None:
+                options["retry_backoff"] = self.neighbor_node_retry_backoff
             return options
         return {}
 

@@ -75,12 +75,17 @@ class BackendUnavailableError(RuntimeError):
 
     Raised by transports (the distributed backend's node connections) when a
     node dies, a connection drops mid-message, or a per-call timeout fires.
-    Deliberately distinct from the sharded pool's silent serial fallback: a
-    remote node owns state the coordinator cannot reconstruct (its shard
-    slice's indexes and caches are recoverable, but the operator chose the
-    topology), so the failure is surfaced instead of silently absorbed — and
-    crucially *no partial merge* is ever returned, because a release computed
-    from a subset of shards would be wrong, not just slow.
+    The distributed backend's failover layer catches it per node — re-dialing
+    the node (replaying ``init``) or, if the node stays dead, handing its
+    shards to the surviving nodes and replaying only its batch — so with
+    retries enabled the error surfaces to callers only when recovery is
+    exhausted: every node dead, the failure budget burned, the backend
+    closed, or ``retries=0`` (the fail-fast mode).  Whenever it does surface,
+    the contract is the original one, deliberately distinct from the sharded
+    pool's silent serial fallback: the failure is reported instead of
+    silently absorbed, and crucially *no partial merge* is ever returned,
+    because a release computed from a subset of shards would be wrong, not
+    just slow.
     """
 
 

@@ -8,16 +8,16 @@ above the transport — the plan compiler, the selection/view wire specs,
 the deterministic shard-order merge folds, the bounded heaviest-cell
 merge — swapping only the dispatch layer: instead of submitting
 ``(method, shard, args)`` tasks to local worker processes, it groups them
-by owning node (``shard % num_nodes``) and ships each node's batch as one
-``shard_tasks`` RPC over a pipelined socket (the
-:mod:`repro.neighbors.rpc` framing).  Each node hosts a node-local
-``ShardedBackend`` over the *same* dataset with the *same* global shard
-bounds, so a task for shard ``s`` computes bitwise the same partial no
-matter which machine answers it — and because partials are folded in
-shard order by the shared ``_merge_*`` code, every released value is
-bitwise identical whether shards live in threads, processes, or sockets
-(the loopback parity suite pins exactly this across 1/2/3-node
-topologies).
+by owning node (``shard % num_nodes`` while every node lives; see below
+for failover) and ships each node's batch as one ``shard_tasks`` RPC over
+a pipelined socket (the :mod:`repro.neighbors.rpc` framing).  Each node
+hosts a node-local ``ShardedBackend`` over the *same* dataset with the
+*same* global shard bounds, so a task for shard ``s`` computes bitwise
+the same partial no matter which machine answers it — and because
+partials are folded in shard order by the shared ``_merge_*`` code, every
+released value is bitwise identical whether shards live in threads,
+processes, or sockets (the loopback parity suite pins exactly this
+across 1/2/3-node topologies).
 
 Dataset placement: ``init`` ships the full ``(n, d)`` array to every node
 once, at construction.  That is deliberate — the truncated statistic and
@@ -28,20 +28,36 @@ the work.  Nodes only ever receive tasks for the shards assigned to them,
 so with ``W`` workers per node each machine builds indexes for its
 ``num_shards / num_nodes`` shards and nothing else.
 
-Failure semantics: a node death, a dropped connection, or a per-call
-timeout raises :class:`~repro.neighbors.base.BackendUnavailableError` and
-poisons the affected connection — subsequent calls fail fast instead of
-hanging, and **no partial merge is ever returned** (a release computed
-from a subset of shards would be silently wrong; contrast the local
-pool's silent serial fallback, which can recompute everything from the
-parent's own copy of the points).
+Failure semantics — failover (``retries > 0``, the default): full
+replication means *any* node can recompute *any* shard bit-for-bit, so
+node death is purely a dispatch-layer concern.  When a node's transport
+fails (dropped connection, timeout, dead process), the coordinator
+re-dials it — bounded attempts with exponential backoff, replaying
+``init`` on the fresh connection because the server builds per-connection
+state — and, if the node stays dead, permanently re-assigns its shards to
+the next live node in ring order and replays *only the failed node's task
+batch* on the adopters.  Tasks whose replies already arrived are never
+re-run (each node's batch reply is one atomic frame, so a batch either
+fully arrived or not at all), and replayed tasks produce bitwise the same
+partials on any node, so the shard-order merges are exact: a release with
+a node killed mid-run is byte-identical to the healthy-topology release.
+``pool_stats()`` counts ``redials``, ``adopted_shards``, and
+``replayed_tasks``.
+
+With ``retries=0`` failover is off and the original fail-fast contract
+holds bit-for-bit: any transport failure raises
+:class:`~repro.neighbors.base.BackendUnavailableError`, the affected
+connection stays poisoned, and **no partial merge is ever returned** (a
+release computed from a subset of shards would be silently wrong).  Even
+with failover on, exhaustion — every node dead, or a collective burning
+through its failure budget — raises the same clean error with no partial
+merge.
 """
 
 from __future__ import annotations
 
-from typing import ClassVar, List, Optional, Sequence, Tuple
-
-import numpy as np
+import time
+from typing import Callable, ClassVar, List, Optional, Sequence, Tuple
 
 from repro import kernels as _kernels
 from repro.neighbors.base import (
@@ -49,12 +65,8 @@ from repro.neighbors.base import (
     PlanFuture,
     QueryPlan,
 )
-from repro.neighbors.rpc import NodeClient, parse_node_address
-from repro.neighbors.sharded import (
-    SHARD_TASK_METHODS,
-    ShardedBackend,
-    _CompiledPlan,
-)
+from repro.neighbors.rpc import NodeClient, PendingReply, parse_node_address
+from repro.neighbors.sharded import ShardedBackend, _CompiledPlan
 
 __all__ = ["DistributedBackend"]
 
@@ -63,19 +75,28 @@ class _DistributedPlanFuture(PlanFuture):
     """An in-flight plan: one pipelined ``shard_tasks`` RPC per node.
 
     ``submit`` already wrote every node's batch to its socket, so the plan
-    is genuinely in flight node-side; :meth:`result` drains the replies,
-    reassembles the per-shard partials **in shard order**, and folds them
-    through the shared merge code.  Any node failure surfaces as
+    is genuinely in flight node-side; :meth:`result` drains the replies
+    through the backend's recovery path — a node dying mid-plan is
+    re-dialed or its shards adopted and only its batch replayed, exactly
+    like a synchronous collective — then reassembles the per-shard
+    partials **in shard order** and folds them through the shared merge
+    code.  An unrecoverable failure surfaces as
     :class:`BackendUnavailableError` before any merging happens — there is
     no partial result to leak.
     """
 
     def __init__(self, backend: "DistributedBackend", compiled: _CompiledPlan,
-                 node_batches: list) -> None:
+                 tasks: list, node_batches: list,
+                 guard: Callable[[BaseException], None]) -> None:
         self._backend = backend
         self._compiled = compiled
-        #: ``[(node, [shard, ...], PendingReply), ...]``
+        #: ``("execute_plan", shard, args)`` for every shard, in shard
+        #: order — task index == shard index, which is what lets
+        #: ``_drain_batches``'s task-order results double as shard parts.
+        self._tasks = tasks
+        #: ``[(node, [task_index, ...], PendingReply), ...]``
         self._node_batches = node_batches
+        self._guard = guard
         self._resolved: Optional[list] = None
 
     def done(self) -> bool:
@@ -86,22 +107,17 @@ class _DistributedPlanFuture(PlanFuture):
                        for _, _, pending in self._node_batches))
 
     def result(self) -> list:
-        """Block for the node replies, merge in shard order, and return the
-        per-query results (memoised across calls)."""
+        """Block for the node replies (recovering failed nodes), merge in
+        shard order, and return the per-query results (memoised across
+        calls)."""
         if self._resolved is None:
-            backend = self._backend
-            shard_parts: List[Optional[list]] = [None] * backend.num_shards
-            for node, shards, pending in self._node_batches:
-                value = backend._node_value(node, pending.wait())
-                if len(value) != len(shards):
-                    raise BackendUnavailableError(
-                        f"node {backend.node_addresses[node]} returned "
-                        f"{len(value)} results for {len(shards)} tasks"
-                    )
-                for shard, part in zip(shards, value):
-                    shard_parts[shard] = part
-            self._resolved = backend._merge_plan(self._compiled, shard_parts)
+            shard_parts = self._backend._drain_batches(
+                self._tasks, self._node_batches, self._guard
+            )
+            self._resolved = self._backend._merge_plan(self._compiled,
+                                                       shard_parts)
             self._node_batches = []
+            self._tasks = []
         return self._resolved
 
 
@@ -115,8 +131,9 @@ class DistributedBackend(ShardedBackend):
         (see the module docstring for why full replication is the right
         trade here).
     nodes:
-        The node servers, as ``"host:port"`` strings or ``(host, port)``
-        pairs — one ``python -m repro.neighbors.serve`` per entry.
+        The node servers, as ``"host:port"`` / ``"[ipv6]:port"`` strings
+        or ``(host, port)`` pairs — one ``python -m repro.neighbors.serve``
+        per entry.
     num_shards:
         Global shard count, identical on every node.  Defaults to
         ``num_nodes * max(1, node_workers)`` so each node's worker slots
@@ -128,11 +145,20 @@ class DistributedBackend(ShardedBackend):
     inner_backend:
         Per-shard strategy, as for :class:`ShardedBackend`.
     timeout:
-        Per-call read timeout in seconds (``None`` = wait forever).  When
-        a node exceeds it, the call raises
-        :class:`BackendUnavailableError` and the connection is poisoned.
+        Per-call read timeout in seconds (``None`` = wait forever), as an
+        overall deadline across a call's pipelined replies.  When a node
+        exceeds it, the call fails over (or raises with ``retries=0``).
     connect_timeout:
-        Socket connect timeout for the initial dial.
+        Socket connect timeout for the initial dial and every re-dial.
+    retries:
+        Re-dial attempts per node failure before the node is declared dead
+        and its shards are adopted by the surviving nodes.  ``0`` disables
+        failover entirely: the first transport failure raises
+        :class:`BackendUnavailableError` (the pre-failover fail-fast
+        contract, preserved bit-for-bit).  Default 2.
+    retry_backoff:
+        Base sleep before re-dial attempt ``i`` (``retry_backoff * 2**i``
+        seconds, exponential).  Default 0.1.
     """
 
     name = "distributed"
@@ -141,13 +167,25 @@ class DistributedBackend(ShardedBackend):
     #: speculative plans genuinely overlap the coordinator's other work.
     supports_speculation: ClassVar[bool] = True
 
+    #: Budget for the pre-adoption health probe of a surviving node.
+    PING_TIMEOUT: ClassVar[float] = 5.0
+
     def __init__(self, points, nodes: Sequence, num_shards: Optional[int] = None,
                  node_workers: int = 0, inner_backend: str = "auto",
                  timeout: Optional[float] = None,
-                 connect_timeout: Optional[float] = 10.0) -> None:
+                 connect_timeout: Optional[float] = 10.0,
+                 retries: int = 2, retry_backoff: float = 0.1) -> None:
         addresses = [parse_node_address(node) for node in nodes]
         if not addresses:
             raise ValueError("DistributedBackend requires at least one node")
+        retries = int(retries)
+        if retries < 0:
+            raise ValueError(f"retries must be non-negative, got {retries}")
+        retry_backoff = float(retry_backoff)
+        if retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be non-negative, got {retry_backoff}"
+            )
         if num_shards is None:
             num_shards = len(addresses) * max(1, int(node_workers))
         # num_workers=0: the coordinator never starts a local pool — the
@@ -156,26 +194,30 @@ class DistributedBackend(ShardedBackend):
         super().__init__(points, num_shards=num_shards, num_workers=0,
                          inner_backend=inner_backend)
         self._timeout = timeout
+        self._connect_timeout = connect_timeout
+        self._retries = retries
+        self._retry_backoff = retry_backoff
+        self._node_workers = max(1, int(node_workers))
+        self._closed = False
+        self._stats.update({"redials": 0, "adopted_shards": 0,
+                            "replayed_tasks": 0})
         self._clients: List[NodeClient] = []
+        self._live: List[bool] = []
         try:
             for host, port in addresses:
                 self._clients.append(
                     NodeClient(host, port, connect_timeout=connect_timeout,
                                timeout=timeout)
                 )
-            init = ("init", self._points, self.num_shards,
-                    int(node_workers), self._inner_backend)
+            self._live = [True] * len(self._clients)
+            self._init_request = ("init", self._points, self.num_shards,
+                                  int(node_workers), self._inner_backend)
             # Pipelined: every node deserialises the dataset and builds its
             # backend concurrently, then the replies are drained in order.
-            pendings = [client.send(init) for client in self._clients]
+            pendings = [client.send(self._init_request)
+                        for client in self._clients]
             for node, pending in enumerate(pendings):
-                value = self._node_value(node, pending.wait())
-                if int(value["num_shards"]) != self.num_shards:
-                    raise BackendUnavailableError(
-                        f"node {self.node_addresses[node]} built "
-                        f"{value['num_shards']} shards, expected "
-                        f"{self.num_shards}"
-                    )
+                self._check_init_reply(node, pending.wait())
         except BaseException:
             for client in self._clients:
                 client.close()
@@ -186,7 +228,8 @@ class DistributedBackend(ShardedBackend):
     # ------------------------------------------------------------------ #
     @property
     def num_nodes(self) -> int:
-        """How many node servers answer for this backend."""
+        """How many node servers this backend was built over (dead ones
+        included — the slot stays, its shards move)."""
         return len(self._clients)
 
     @property
@@ -196,16 +239,51 @@ class DistributedBackend(ShardedBackend):
                 for client in self._clients]
 
     @property
+    def live_nodes(self) -> List[int]:
+        """Indices of the nodes still serving shards."""
+        return [node for node, live in enumerate(self._live) if live]
+
+    @property
     def parallel(self) -> bool:
         """Remote dispatch is always 'parallel' in the sense that matters
         here: tasks leave the coordinator process."""
         return True
 
     def _node_for(self, shard: int) -> int:
-        """The node owning ``shard`` (fixed assignment, like the local
-        shard→worker-slot affinity: each shard's index and caches are built
-        on exactly one machine)."""
-        return shard % len(self._clients)
+        """The node currently owning ``shard``.
+
+        While every node lives this is the fixed ``shard % num_nodes``
+        assignment (like the local shard→worker-slot affinity: each
+        shard's index and caches are built on exactly one machine).  When
+        the home node is dead, the shard is adopted by the **next live
+        node in ring order** — a deterministic rule, so the same survivor
+        set always yields the same shard map (and therefore the same
+        batching, the same replies, and bitwise the same merges).
+        """
+        count = len(self._clients)
+        home = shard % count
+        for step in range(count):
+            node = (home + step) % count
+            if self._live[node]:
+                return node
+        raise BackendUnavailableError(
+            "every node of the distributed backend is dead"
+        )
+
+    def shard_owners(self) -> List[int]:
+        """The current shard → node map (diagnostics; deterministic in the
+        survivor set)."""
+        return [self._node_for(shard) for shard in range(self.num_shards)]
+
+    def _check_init_reply(self, node: int, reply) -> dict:
+        """Unwrap + validate one node's ``init`` reply."""
+        value = self._node_value(node, reply)
+        if int(value["num_shards"]) != self.num_shards:
+            raise BackendUnavailableError(
+                f"node {self.node_addresses[node]} built "
+                f"{value['num_shards']} shards, expected {self.num_shards}"
+            )
+        return value
 
     def _node_value(self, node: int, reply) -> object:
         """Unwrap one node reply, translating error replies."""
@@ -221,49 +299,180 @@ class DistributedBackend(ShardedBackend):
         return reply["value"]
 
     # ------------------------------------------------------------------ #
+    # Failover
+    # ------------------------------------------------------------------ #
+    def _recover_or_adopt(self, node: int, error: BaseException) -> None:
+        """Bring a failed node back, or hand its shards to the survivors.
+
+        Re-dials the node up to ``retries`` times (exponential backoff),
+        replaying ``init`` on each fresh connection since the server keeps
+        per-connection state.  If every attempt fails, the node is
+        declared dead: its shards move to the next live node in ring order
+        for the remainder of the backend's life.  Returning normally means
+        the caller may re-send the failed batch to the (possibly updated)
+        owners; with ``retries=0`` — or after ``close()`` — the original
+        error is re-raised instead, preserving the fail-fast contract.
+        """
+        if self._closed or self._retries <= 0:
+            raise error
+        if not self._live[node]:
+            return  # already adopted; the owner map has moved on
+        client = self._clients[node]
+        for attempt in range(self._retries):
+            if self._retry_backoff > 0.0:
+                time.sleep(self._retry_backoff * (2.0 ** attempt))
+            try:
+                client.redial(self._connect_timeout)
+                self._check_init_reply(node,
+                                       client.send(self._init_request).wait())
+            except (BackendUnavailableError, RuntimeError, OSError):
+                continue
+            self._stats["redials"] += 1
+            return
+        self._declare_dead(node)
+
+    def _declare_dead(self, node: int) -> None:
+        """Mark a node dead and move its shards to the survivors.
+
+        Raises :class:`BackendUnavailableError` when no live node remains
+        (nothing can adopt, and a partial merge is never an option).  The
+        survivors that will adopt are health-probed with a cheap ``ping``
+        first — except those with replies already in flight, which prove
+        their liveness when the caller drains them — so a silently-dead
+        adopter is discovered now, not mid-batch.
+        """
+        if not self._live[node]:
+            return
+        adopted = sum(1 for shard in range(self.num_shards)
+                      if self._node_for(shard) == node)
+        self._live[node] = False
+        self._clients[node].close()
+        if not any(self._live):
+            raise BackendUnavailableError(
+                f"node {self.node_addresses[node]} is unreachable and no "
+                "live node remains to adopt its shards"
+            )
+        self._stats["adopted_shards"] += adopted
+        for other, client in enumerate(self._clients):
+            if not self._live[other] or client.pending_count:
+                continue
+            if not client.ping(timeout=self.PING_TIMEOUT):
+                self._recover_or_adopt(other, BackendUnavailableError(
+                    f"node {self.node_addresses[other]} failed its "
+                    "pre-adoption health probe"
+                ))
+
+    def _failure_guard(self) -> Callable[[BaseException], None]:
+        """A per-collective bound on how many node failures recovery will
+        absorb before giving up.
+
+        A flapping node could otherwise redial successfully forever while
+        never answering a batch; the budget —
+        ``(retries + 1) * num_nodes + 1`` failures — is generous enough
+        for every node to die once with full retry cycles, and small
+        enough that a pathological collective still terminates with a
+        clean :class:`BackendUnavailableError`.
+        """
+        budget = (self._retries + 1) * len(self._clients) + 1
+        seen = [0]
+
+        def guard(error: BaseException) -> None:
+            seen[0] += 1
+            if seen[0] > budget:
+                raise BackendUnavailableError(
+                    f"failover gave up after {seen[0]} node failures in one "
+                    "collective operation"
+                ) from error
+
+        return guard
+
+    # ------------------------------------------------------------------ #
     # Transport (replaces the local pool dispatch wholesale)
     # ------------------------------------------------------------------ #
-    def _group_tasks(self, tasks: Sequence[tuple]) -> List[Tuple[int, list]]:
-        """Group task indices by owning node, nodes in ascending order."""
+    def _group_indices(self, tasks: Sequence[tuple],
+                       indices: Sequence[int]) -> List[Tuple[int, list]]:
+        """Group task indices by *current* owning node, nodes ascending."""
         grouped: dict = {}
-        for index, (_, shard, _) in enumerate(tasks):
+        for index in indices:
+            shard = tasks[index][1]
             grouped.setdefault(self._node_for(shard), []).append(index)
         return sorted(grouped.items())
+
+    def _send_batches(self, tasks: Sequence[tuple], indices: Sequence[int],
+                      guard: Callable[[BaseException], None]) -> list:
+        """Write one ``shard_tasks`` RPC per owning node for ``indices``.
+
+        Returns ``[(node, [task_index, ...], PendingReply), ...]``.  A
+        failed *send* goes through recovery and re-groups only that node's
+        share by the updated owner map — batches already written stay in
+        flight untouched.
+        """
+        queue = self._group_indices(tasks, list(indices))
+        batches = []
+        while queue:
+            node, group = queue.pop(0)
+            payload = ("shard_tasks", [tasks[index] for index in group])
+            try:
+                batches.append((node, group,
+                                self._clients[node].send(payload)))
+            except BackendUnavailableError as error:
+                guard(error)
+                self._recover_or_adopt(node, error)
+                queue = self._group_indices(tasks, group) + queue
+        return batches
+
+    def _drain_batches(self, tasks: Sequence[tuple], batches: list,
+                       guard: Callable[[BaseException], None]) -> list:
+        """Drain node batches into task-order results, with recovery.
+
+        A node whose reply fails is recovered (re-dial + re-``init``) or
+        its shards adopted, and **only its batch** is re-sent — results
+        that already arrived are never recomputed.  That is exact because
+        each node's batch reply is one atomic frame (all-or-nothing) and
+        every task is a pure read whose partial is bitwise identical on
+        any node, so replayed work folds into the same merge the healthy
+        run would have produced.
+        """
+        results: list = [None] * len(tasks)
+        while batches:
+            retry: List[int] = []
+            for node, group, pending in batches:
+                try:
+                    value = self._node_value(node, pending.wait())
+                except BackendUnavailableError as error:
+                    guard(error)
+                    self._recover_or_adopt(node, error)
+                    retry.extend(group)
+                    continue
+                if len(value) != len(group):
+                    raise BackendUnavailableError(
+                        f"node {self.node_addresses[node]} returned "
+                        f"{len(value)} results for {len(group)} tasks"
+                    )
+                for index, result in zip(group, value):
+                    results[index] = result
+            if retry:
+                retry.sort()
+                self._stats["replayed_tasks"] += len(retry)
+                batches = self._send_batches(tasks, retry, guard)
+            else:
+                batches = []
+        return results
 
     def _dispatch_tasks(self, tasks: Sequence[tuple]) -> list:
         """One ``shard_tasks`` RPC per involved node; results in task
         order.  Requests are written to every node before any reply is
-        read, so the nodes compute concurrently."""
-        batches = []
-        for node, indices in self._group_tasks(tasks):
-            payload = ("shard_tasks", [tasks[index] for index in indices])
-            batches.append((node, indices,
-                            self._clients[node].send(payload)))
-        results: list = [None] * len(tasks)
-        for node, indices, pending in batches:
-            value = self._node_value(node, pending.wait())
-            if len(value) != len(indices):
-                raise BackendUnavailableError(
-                    f"node {self.node_addresses[node]} returned "
-                    f"{len(value)} results for {len(indices)} tasks"
-                )
-            for index, result in zip(indices, value):
-                results[index] = result
-        return results
+        read, so the nodes compute concurrently; failures route through
+        the recovery path."""
+        guard = self._failure_guard()
+        batches = self._send_batches(tasks, range(len(tasks)), guard)
+        return self._drain_batches(tasks, batches, guard)
 
     def run_shard_tasks(self, tasks: Sequence[tuple]) -> list:
         """Run a batch of ``(method, shard, args)`` sub-queries on the
         owning nodes (the remote twin of
         :meth:`ShardedBackend.run_shard_tasks`)."""
-        tasks = [(str(method), int(shard), tuple(args))
-                 for method, shard, args in tasks]
-        for method, shard, _ in tasks:
-            if method not in SHARD_TASK_METHODS:
-                raise ValueError(f"unknown shard task method {method!r}")
-            if not 0 <= shard < self.num_shards:
-                raise ValueError(
-                    f"shard {shard} out of range [0, {self.num_shards})"
-                )
+        tasks = self._normalize_tasks(tasks)
         self._stats["fanouts"] += 1
         self._stats["shard_tasks"] += len(tasks)
         return self._dispatch_tasks(tasks)
@@ -271,11 +480,14 @@ class DistributedBackend(ShardedBackend):
     def _iter_shards(self, method: str, args: tuple, wave: int = None):
         """Yield per-shard results in shard order, one wave of shards in
         flight at a time (the wave bounds how many undrained results sit in
-        coordinator memory, exactly like the local pool's version)."""
+        coordinator memory, exactly like the local pool's version).  The
+        default wave is ``num_nodes × max(1, node_workers)`` — one task per
+        node-local worker slot per wave, so a node's whole pool is busy
+        during a streaming walk, not just one worker."""
         self._stats["fanouts"] += 1
         self._stats["shard_tasks"] += self.num_shards
         if wave is None:
-            wave = len(self._clients)
+            wave = len(self._clients) * self._node_workers
         wave = max(len(self._clients), min(int(wave), self.num_shards))
         for start in range(0, self.num_shards, wave):
             shards = range(start, min(start + wave, self.num_shards))
@@ -289,7 +501,8 @@ class DistributedBackend(ShardedBackend):
         """Dispatch a plan without waiting: the compiled bundle is written
         to every node's socket immediately (the PR 5 wire form *is* the RPC
         payload), and the returned future merges the per-shard partials in
-        shard order on first :meth:`~PlanFuture.result`."""
+        shard order on first :meth:`~PlanFuture.result` — recovering dead
+        nodes on the way, so an in-flight plan survives a mid-plan death."""
         compiled = self._compile_plan(plan)
         self._stats["plans"] += 1
         if not compiled.bundle:
@@ -299,12 +512,9 @@ class DistributedBackend(ShardedBackend):
         self._stats["shard_tasks"] += self.num_shards
         tasks = [("execute_plan", shard, compiled.shard_args(shard))
                  for shard in range(self.num_shards)]
-        node_batches = []
-        for node, indices in self._group_tasks(tasks):
-            payload = ("shard_tasks", [tasks[index] for index in indices])
-            node_batches.append((node, [tasks[index][1] for index in indices],
-                                 self._clients[node].send(payload)))
-        return _DistributedPlanFuture(self, compiled, node_batches)
+        guard = self._failure_guard()
+        batches = self._send_batches(tasks, range(len(tasks)), guard)
+        return _DistributedPlanFuture(self, compiled, tasks, batches, guard)
 
     # ------------------------------------------------------------------ #
     # Diagnostics / lifecycle
@@ -312,26 +522,39 @@ class DistributedBackend(ShardedBackend):
     def pool_stats(self) -> dict:
         """Coordinator counters plus every node's own ``pool_stats()``.
 
-        ``nodes`` holds one entry per node (``None`` for a node that is
-        unreachable — diagnostics deliberately do not raise), ``workers``
-        flattens the per-node worker cache stats, and ``stolen_tasks``
-        aggregates the coordinator's count with every reachable node's.
+        ``nodes`` holds one entry per node (``None`` for a dead or
+        unreachable node — diagnostics deliberately neither raise nor
+        trigger recovery), ``live_nodes`` how many still serve shards,
+        ``redials`` / ``adopted_shards`` / ``replayed_tasks`` the failover
+        counters, ``workers`` flattens the per-node worker cache stats,
+        and ``stolen_tasks`` aggregates the coordinator's count with every
+        reachable node's.  The per-node stats requests are pipelined —
+        every send is written before any reply is read — so the round
+        trips overlap instead of serialising.
         """
         stats = dict(self._stats)
         stats["num_shards"] = self.num_shards
         stats["requested_workers"] = self._requested_workers
         stats["num_nodes"] = self.num_nodes
+        stats["live_nodes"] = len(self.live_nodes)
         stats["kernel_mode"] = _kernels.KERNEL_MODE
         stats["speculation"] = self.speculation_stats()
-        node_stats: List[Optional[dict]] = []
+        pendings: List[Optional[PendingReply]] = []
         for node, client in enumerate(self._clients):
-            if not client.alive:
+            if not self._live[node] or not client.alive:
+                pendings.append(None)
+                continue
+            try:
+                pendings.append(client.send(("pool_stats",)))
+            except BackendUnavailableError:
+                pendings.append(None)
+        node_stats: List[Optional[dict]] = []
+        for node, pending in enumerate(pendings):
+            if pending is None:
                 node_stats.append(None)
                 continue
             try:
-                node_stats.append(
-                    self._node_value(node, client.call(("pool_stats",)))
-                )
+                node_stats.append(self._node_value(node, pending.wait()))
             except BackendUnavailableError:
                 node_stats.append(None)
         stats["nodes"] = node_stats
@@ -351,10 +574,12 @@ class DistributedBackend(ShardedBackend):
     def close(self) -> None:
         """Release every node's backend and close the connections.
 
-        Terminal, unlike the local pool's close: the coordinator cannot
-        restart servers it does not own, so queries after ``close`` raise
+        Terminal, unlike the local pool's close — and unlike the failover
+        path: the coordinator cannot restart servers it does not own, and
+        a closed backend never re-dials, so queries after ``close`` raise
         :class:`BackendUnavailableError`.
         """
+        self._closed = True
         for client in getattr(self, "_clients", []):
             if client.alive:
                 try:

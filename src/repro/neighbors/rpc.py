@@ -40,6 +40,7 @@ import io
 import select
 import socket
 import struct
+import time
 from typing import Any, List, Optional, Tuple
 
 import numpy as np
@@ -246,10 +247,18 @@ def write_frame(sock: socket.socket, payload: bytes) -> None:
         ) from error
 
 
-def _read_exact(sock: socket.socket, count: int) -> bytes:
+def _read_exact(sock: socket.socket, count: int,
+                deadline: Optional[float] = None) -> bytes:
     chunks = []
     remaining = count
     while remaining:
+        if deadline is not None:
+            budget = deadline - time.monotonic()
+            if budget <= 0:
+                raise BackendUnavailableError(
+                    "node did not answer within the configured timeout"
+                )
+            sock.settimeout(budget)
         try:
             chunk = sock.recv(min(remaining, 1 << 20))
         except socket.timeout as error:
@@ -269,17 +278,28 @@ def _read_exact(sock: socket.socket, count: int) -> bytes:
     return b"".join(chunks)
 
 
-def read_frame(sock: socket.socket,
-               timeout: Optional[float] = None) -> bytes:
-    """Read one length-prefixed frame; ``timeout`` covers each read."""
-    sock.settimeout(timeout)
-    header = _read_exact(sock, _FRAME_HEADER.size)
+def read_frame(sock: socket.socket, timeout: Optional[float] = None,
+               deadline: Optional[float] = None) -> bytes:
+    """Read one length-prefixed frame.
+
+    ``timeout`` is a *total* budget for the whole frame, converted to a
+    monotonic ``deadline`` up front (callers draining several pipelined
+    frames pass an explicit ``deadline`` instead, so the budget spans all
+    of them).  A per-``recv`` timeout would let a slow peer stall
+    ``k × timeout`` across ``k`` frames — or even across the chunks of one
+    large frame — before the failure fired.
+    """
+    if deadline is None and timeout is not None:
+        deadline = time.monotonic() + timeout
+    if deadline is None:
+        sock.settimeout(None)
+    header = _read_exact(sock, _FRAME_HEADER.size, deadline)
     (length,) = _FRAME_HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise BackendUnavailableError(
             f"node announced an implausible {length}-byte frame"
         )
-    return _read_exact(sock, length)
+    return _read_exact(sock, length, deadline)
 
 
 def send_message(sock: socket.socket, message: Any) -> None:
@@ -287,10 +307,10 @@ def send_message(sock: socket.socket, message: Any) -> None:
     write_frame(sock, encode(message))
 
 
-def recv_message(sock: socket.socket,
-                 timeout: Optional[float] = None) -> Any:
+def recv_message(sock: socket.socket, timeout: Optional[float] = None,
+                 deadline: Optional[float] = None) -> Any:
     """Read + decode one message."""
-    return decode(read_frame(sock, timeout=timeout))
+    return decode(read_frame(sock, timeout=timeout, deadline=deadline))
 
 
 # --------------------------------------------------------------------------- #
@@ -355,6 +375,7 @@ class NodeClient:
                  timeout: Optional[float] = None) -> None:
         self.address = (str(host), int(port))
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
         self._pending: List[PendingReply] = []
         self._buffer = b""
         self._dead: Optional[str] = None
@@ -371,6 +392,57 @@ class NodeClient:
     @property
     def alive(self) -> bool:
         return self._dead is None
+
+    @property
+    def pending_count(self) -> int:
+        """How many requests are awaiting replies on this connection."""
+        return len(self._pending)
+
+    def redial(self, connect_timeout: Optional[float] = None) -> None:
+        """Reset a poisoned (or live) connection by dialing the server
+        afresh.
+
+        The failover layer's entry point: any pending replies are failed
+        (their requests died with the old socket and must be replayed by
+        the caller), the dead-marker is cleared, and a brand-new TCP
+        connection is established.  The server builds per-connection state,
+        so the caller must re-send ``init`` before any task reaches the
+        new connection.  Raises :class:`BackendUnavailableError` — and
+        leaves the client poisoned — when the dial itself fails.
+        """
+        if self._dead is None:
+            self._dead = "connection reset for redial"
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close never matters
+                pass
+        self._fail_pending(BackendUnavailableError(self._dead))
+        if connect_timeout is None:
+            connect_timeout = self.connect_timeout
+        try:
+            self._sock = socket.create_connection(self.address,
+                                                  timeout=connect_timeout)
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as error:
+            self._sock = None
+            self._dead = (f"re-dial of {self.address[0]}:{self.address[1]} "
+                          f"failed: {error}")
+            raise BackendUnavailableError(self._dead) from error
+        self._dead = None
+
+    def ping(self, timeout: Optional[float] = 5.0) -> bool:
+        """Cheap health probe: one ``ping`` round trip, ``False`` on any
+        failure (a probe must never raise — it is asked exactly when the
+        peer is suspect)."""
+        if self._dead is not None:
+            return False
+        try:
+            reply = self.call(("ping",), timeout=timeout)
+        except (BackendUnavailableError, OSError):
+            return False
+        return isinstance(reply, dict) and reply.get("status") == "ok"
 
     def close(self) -> None:
         """Close the socket (idempotent; pending replies fail fast)."""
@@ -429,8 +501,18 @@ class NodeClient:
 
     def _read_until(self, target: PendingReply,
                     timeout: Optional[float]) -> None:
-        """Drain replies in FIFO order until ``target`` resolves."""
+        """Drain replies in FIFO order until ``target`` resolves.
+
+        The timeout is one *overall* monotonic deadline covering every
+        frame drained on the way to ``target`` — not a per-frame budget.
+        With ``k`` pipelined replies queued ahead of the target, a
+        per-frame timeout would let a slow node stall ``k × timeout``
+        before the poison fired, which is exactly the hang the timeout
+        exists to bound.
+        """
         effective = self.timeout if timeout is None else timeout
+        deadline = (None if effective is None
+                    else time.monotonic() + effective)
         while not target._done:
             self._check_alive()
             if not self._pending:  # pragma: no cover - caller bug guard
@@ -438,7 +520,7 @@ class NodeClient:
                     "reply awaited on a connection with no pending requests"
                 )
             try:
-                message = recv_message(self._sock, timeout=effective)
+                message = recv_message(self._sock, deadline=deadline)
             except (BackendUnavailableError, OSError) as error:
                 raise self._mark_dead(error) from error
             self._pending.pop(0)._resolve(message)
@@ -468,15 +550,49 @@ class NodeClient:
             self._pending.pop(0)._resolve(message)
 
 
+def _check_port(port_text, node) -> int:
+    try:
+        port = int(port_text)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"node address {node!r} has a non-numeric port {port_text!r}"
+        ) from None
+    if not 1 <= port <= 65535:
+        raise ValueError(
+            f"node address {node!r} has port {port} outside [1, 65535]"
+        )
+    return port
+
+
 def parse_node_address(node) -> Tuple[str, int]:
-    """Normalise a node spec — ``"host:port"`` or ``(host, port)`` — to a
-    ``(host, port)`` pair."""
+    """Normalise a node spec to a ``(host, port)`` pair.
+
+    Accepts ``"host:port"`` strings, ``"[ipv6]:port"`` strings (brackets
+    stripped, so the host feeds straight into
+    ``socket.create_connection``), and ``(host, port)`` pairs.  Bare IPv6
+    hosts like ``"::1:9000"`` are rejected — every colon is a candidate
+    separator, so the split is ambiguous and the address must be
+    bracketed.  Ports are validated to the connectable range
+    ``[1, 65535]``.
+    """
     if isinstance(node, str):
+        if node.startswith("["):
+            host, sep, rest = node[1:].partition("]")
+            if not sep or not rest.startswith(":") or not host:
+                raise ValueError(
+                    f"node address {node!r} is not of the form '[ipv6]:port'"
+                )
+            return host, _check_port(rest[1:], node)
         host, sep, port = node.rpartition(":")
         if not sep or not host:
             raise ValueError(
                 f"node address {node!r} is not of the form 'host:port'"
             )
-        return host, int(port)
+        if ":" in host:
+            raise ValueError(
+                f"node address {node!r} looks like a bare IPv6 address, "
+                f"which is ambiguous; bracket the host as '[{host}]:{port}'"
+            )
+        return host, _check_port(port, node)
     host, port = node
-    return str(host), int(port)
+    return str(host), _check_port(port, node)

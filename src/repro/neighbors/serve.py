@@ -40,6 +40,7 @@ no hang, no partial merge — can be pinned against a real socket.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import os
 import socket
 import struct
@@ -60,6 +61,19 @@ from repro.neighbors.rpc import (
 from repro.neighbors.sharded import ShardedBackend
 
 __all__ = ["NodeServer", "main"]
+
+
+def _init_fingerprint(request: tuple) -> tuple:
+    """A comparable summary of one ``init`` request: topology plus the
+    dataset's exact bytes (cheap next to deserialising the dataset, which
+    already happened).  Two requests with equal fingerprints would build
+    byte-identical backends, so the second build can be skipped."""
+    _, points, num_shards, num_workers, inner_backend = request
+    points = np.asarray(points)
+    digest = hashlib.sha256(np.ascontiguousarray(points)).hexdigest()
+    return (int(num_shards),
+            None if num_workers is None else int(num_workers),
+            str(inner_backend), points.dtype.str, points.shape, digest)
 
 
 class NodeServer:
@@ -162,6 +176,7 @@ class NodeServer:
     # -- per-connection protocol ---------------------------------------- #
     def _serve_connection(self, conn: socket.socket) -> None:
         backend: Optional[ShardedBackend] = None
+        init_fingerprint: Optional[tuple] = None
         try:
             while not self._stopping.is_set():
                 try:
@@ -187,12 +202,24 @@ class NodeServer:
                     break
                 try:
                     if op == "init":
-                        if backend is not None:
-                            backend.close()
-                        backend = self._build_backend(request)
+                        # A coordinator that redials after a transport
+                        # failure replays its init; an *identical* replay
+                        # on a connection whose backend already matches is
+                        # a no-op (keeping the warm per-shard caches)
+                        # instead of a rebuild — init is idempotent.
+                        fingerprint = _init_fingerprint(request)
+                        reused = (backend is not None
+                                  and fingerprint == init_fingerprint)
+                        if not reused:
+                            if backend is not None:
+                                backend.close()
+                                backend = None
+                            backend = self._build_backend(request)
+                            init_fingerprint = fingerprint
                         reply = {"status": "ok", "value": {
                             "pid": os.getpid(),
                             "num_shards": backend.num_shards,
+                            "reused": reused,
                         }}
                     elif op == "shard_tasks":
                         if backend is None:
@@ -215,6 +242,7 @@ class NodeServer:
                         if backend is not None:
                             backend.close()
                             backend = None
+                            init_fingerprint = None
                         reply = {"status": "ok", "value": None}
                     else:
                         raise ValueError(f"unknown request op {op!r}")

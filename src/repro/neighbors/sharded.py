@@ -1203,6 +1203,26 @@ class ShardedBackend(NeighborBackend):
         order."""
         return _StealingBatch(self, executors, tasks).proxies
 
+    def _normalize_tasks(self, tasks: Sequence[tuple]) -> list:
+        """Validate + normalise a batch of ``(method, shard, args)`` tasks.
+
+        The dispatch seam shared by every transport: the local pool, the
+        node server (which forwards a coordinator's batch verbatim), and
+        the distributed coordinator all funnel their batches through this
+        one method-allowlist / shard-range check, so a malformed task is
+        rejected identically no matter which layer dispatches it.
+        """
+        tasks = [(str(method), int(shard), tuple(args))
+                 for method, shard, args in tasks]
+        for method, shard, _ in tasks:
+            if method not in SHARD_TASK_METHODS:
+                raise ValueError(f"unknown shard task method {method!r}")
+            if not 0 <= shard < self.num_shards:
+                raise ValueError(
+                    f"shard {shard} out of range [0, {self.num_shards})"
+                )
+        return tasks
+
     def run_shard_tasks(self, tasks: Sequence[tuple]) -> list:
         """Run a batch of ``(method, shard, args)`` shard sub-queries.
 
@@ -1214,15 +1234,7 @@ class ShardedBackend(NeighborBackend):
         one), and returns results in task order — so merges downstream are
         independent of which slot ran what.
         """
-        tasks = [(str(method), int(shard), tuple(args))
-                 for method, shard, args in tasks]
-        for method, shard, _ in tasks:
-            if method not in SHARD_TASK_METHODS:
-                raise ValueError(f"unknown shard task method {method!r}")
-            if not 0 <= shard < self.num_shards:
-                raise ValueError(
-                    f"shard {shard} out of range [0, {self.num_shards})"
-                )
+        tasks = self._normalize_tasks(tasks)
         self._stats["fanouts"] += 1
         self._stats["shard_tasks"] += len(tasks)
         executors = self._ensure_executors()

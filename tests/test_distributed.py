@@ -13,10 +13,14 @@ The contract, in three layers:
   k_cluster through the config path.  Shard partials merge in shard order
   no matter which socket answered them, so this is parity by construction;
   these tests pin that the construction holds.
-* **Failure**: a dead node, a dropped connection, a truncated frame, or a
-  blown per-call timeout raises a clean
-  :class:`~repro.neighbors.BackendUnavailableError` — no hang, and never a
-  merge of a subset of shards.
+* **Failure**: with failover on (the default), a dead node is re-dialed
+  (replaying ``init``) or its shards are adopted by the survivors in ring
+  order, only its batch is replayed, and the release does not move a byte
+  — a `good_center` run with a node killed mid-run is bitwise the healthy
+  run.  With ``retries=0`` the PR 7 fail-fast contract holds: a dead node,
+  a dropped connection, a truncated frame, or a blown per-call timeout
+  raises a clean :class:`~repro.neighbors.BackendUnavailableError` — no
+  hang, and never a merge of a subset of shards.
 
 Plus the two scheduler features that ride along: work stealing within the
 local pool's shard→worker affinity groups, and the tree-backed per-shard
@@ -48,7 +52,13 @@ from repro.neighbors import (
 )
 from repro.neighbors._distance import truncated_squared_cross
 from repro.neighbors.distributed import DistributedBackend
-from repro.neighbors.rpc import NodeClient, decode, encode, parse_node_address
+from repro.neighbors.rpc import (
+    NodeClient,
+    PendingReply,
+    decode,
+    encode,
+    parse_node_address,
+)
 from repro.neighbors.serve import NodeServer
 from repro.neighbors.tree import TreeBackend
 
@@ -218,10 +228,29 @@ class TestWireEncoding:
         backend.close()
 
     def test_parse_node_address(self):
-        assert parse_node_address("127.0.0.1:7400") == ("127.0.0.1", 7400)
+        table = {
+            "127.0.0.1:7400": ("127.0.0.1", 7400),
+            "node-7.cluster.local:65535": ("node-7.cluster.local", 65535),
+            "[::1]:9000": ("::1", 9000),
+            "[fe80::1%eth0]:7400": ("fe80::1%eth0", 7400),
+            "[2001:db8::2]:1": ("2001:db8::2", 1),
+        }
+        for text, expected in table.items():
+            assert parse_node_address(text) == expected, text
         assert parse_node_address(("::1", 7400)) == ("::1", 7400)
-        with pytest.raises(ValueError):
-            parse_node_address("no-port")
+        assert parse_node_address(("host", "7400")) == ("host", 7400)
+
+    def test_parse_node_address_rejections(self):
+        bad = ["no-port", "", ":7400", "host:", "host:port", "host:0",
+               "host:-1", "host:65536", "[::1]9000", "[::1]:", "[]:9000",
+               ("host", 0), ("host", "nope")]
+        for value in bad:
+            with pytest.raises(ValueError):
+                parse_node_address(value)
+        # A bare IPv6 host is ambiguous (every colon is a candidate
+        # separator) — the error must say how to fix it, not just fail.
+        with pytest.raises(ValueError, match=r"bracket the host"):
+            parse_node_address("::1:9000")
 
 
 class TestLoopbackParity:
@@ -421,7 +450,9 @@ class TestLoopbackParity:
 
 
 class TestFaultInjection:
-    """Failures surface as clean errors: no hang, no partial merge."""
+    """With ``retries=0`` (failover off — the PR 7 contract, preserved
+    bit-for-bit) failures surface as clean errors: no hang, no partial
+    merge, no redial, no adoption."""
 
     def test_per_call_timeout_fires(self, monkeypatch):
         """A stalled node must not hang the coordinator: the configured
@@ -432,8 +463,8 @@ class TestFaultInjection:
         # this process, so the _TASK_DELAY seam stalls shard 0 for real.
         monkeypatch.setattr(sharded_module, "_TASK_DELAY",
                             ("counts", 0, 2.0))
-        with distributed_backend(points, 1, num_shards=2,
-                                 timeout=0.4) as backend:
+        with distributed_backend(points, 1, num_shards=2, timeout=0.4,
+                                 retries=0) as backend:
             start = time.monotonic()
             with pytest.raises(BackendUnavailableError, match="timeout"):
                 backend.radius_counts(0.5)
@@ -447,7 +478,8 @@ class TestFaultInjection:
         """A node closing its socket instead of replying is a clean error,
         and diagnostics keep working around the dead node."""
         points = DATASETS["random-2d"]
-        with distributed_backend(points, 2, num_shards=4) as backend:
+        with distributed_backend(points, 2, num_shards=4,
+                                 retries=0) as backend:
             backend._clients[0].send(("debug_drop",))
             # Depending on timing the OS reports the dead peer as a clean
             # EOF or a connection reset; both must surface as the same
@@ -459,12 +491,17 @@ class TestFaultInjection:
             stats = backend.pool_stats()  # never raises
             assert stats["nodes"][0] is None
             assert stats["nodes"][1] is not None
+            # Failover off: nothing was retried, adopted, or replayed.
+            assert stats["redials"] == 0
+            assert stats["adopted_shards"] == 0
+            assert stats["replayed_tasks"] == 0
 
     def test_truncated_frame_mid_read(self):
         """A frame whose header promises more bytes than arrive (the peer
         died mid-write) surfaces as mid-message EOF, not a hang."""
         points = DATASETS["random-2d"]
-        with distributed_backend(points, 2, num_shards=4) as backend:
+        with distributed_backend(points, 2, num_shards=4,
+                                 retries=0) as backend:
             backend._clients[1].send(("debug_truncate",))
             # Usually "mid-message" EOF; occasionally the server's close
             # RSTs the socket before the buffered half-frame is read.
@@ -476,7 +513,8 @@ class TestFaultInjection:
         """A plan whose node died mid-flight raises from result() — it
         never merges the surviving shards' partials into a value."""
         points = DATASETS["random-2d"]
-        with distributed_backend(points, 2, num_shards=4) as backend:
+        with distributed_backend(points, 2, num_shards=4,
+                                 retries=0) as backend:
             # Stall node 0 behind a long sleep, then drop it: the plan's
             # tasks for shards 0 and 2 are queued behind the sleep and the
             # connection dies before they answer.
@@ -488,6 +526,27 @@ class TestFaultInjection:
                 future.result()
             with pytest.raises(BackendUnavailableError):
                 future.result()  # still an error on re-ask, never a value
+
+    def test_read_timeout_is_total_deadline(self):
+        """The per-call timeout is one overall deadline across every
+        pipelined frame drained on the way to the awaited reply — not a
+        per-frame budget.  Three sleeps of 0.35 s queued ahead of the
+        target each deliver a frame *within* 0.5 s, so a per-frame timeout
+        would happily wait ~1.05 s + reply; the total deadline must fire
+        at ~0.5 s."""
+        with node_cluster(1) as addresses:
+            client = NodeClient(*parse_node_address(addresses[0]))
+            try:
+                for _ in range(3):
+                    client.send(("debug_sleep", 0.35))
+                pending = client.send(("ping",))
+                start = time.monotonic()
+                with pytest.raises(BackendUnavailableError, match="timeout"):
+                    pending.wait(timeout=0.5)
+                elapsed = time.monotonic() - start
+                assert 0.3 < elapsed < 0.95, elapsed
+            finally:
+                client.close()
 
     def test_queries_after_close_raise(self):
         points = DATASETS["random-2d"]
@@ -521,35 +580,82 @@ class TestFaultInjection:
 
     @pytest.mark.slow
     def test_killed_node_process_mid_plan(self):
-        """The acceptance scenario: a real node *process* killed while a
-        plan is in flight.  result() raises BackendUnavailableError within
-        seconds — no hang, no partial merge — and the surviving node keeps
-        answering a replacement backend."""
+        """The acceptance scenario: a real node *process* SIGKILLed while
+        a plan is in flight.  With failover on (the default), result()
+        recovers — the survivor adopts the dead node's shards and replays
+        only its batch — and the plan's results are bitwise the dense
+        reference's; the same backend keeps answering afterwards.  With
+        ``retries=0`` the same kill raises cleanly instead."""
         points = DATASETS["random-2d"]
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(
             filter(None, ["src", env.get("PYTHONPATH")])
         )
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.neighbors.serve", "--port", "0"],
-            stdout=subprocess.PIPE, text=True, env=env,
-            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        )
-        try:
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+        def spawn_victim():
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.neighbors.serve",
+                 "--port", "0"],
+                stdout=subprocess.PIPE, text=True, env=env, cwd=repo_root,
+            )
             banner = proc.stdout.readline().split()
             assert banner[0] == "LISTENING"
-            victim = f"{banner[1]}:{banner[2]}"
+            return proc, f"{banner[1]}:{banner[2]}"
+
+        def build_plan():
+            plan = QueryPlan()
+            plan.count_within_many(points[:4], [0.5, 1.0])
+            return plan
+
+        dense = DenseBackend(points)
+        reference = dense.execute(build_plan())
+
+        # Failover on: the kill is absorbed, the results do not move.
+        proc, victim = spawn_victim()
+        try:
             with node_cluster(1) as survivors:
                 backend = DistributedBackend(points,
                                              nodes=[victim, survivors[0]],
-                                             num_shards=4)
+                                             num_shards=4,
+                                             retry_backoff=0.05)
                 try:
                     # Queue a long stall on the victim, then a plan behind
                     # it, then kill the process mid-flight.
                     backend._clients[0].send(("debug_sleep", 60.0))
-                    plan = QueryPlan()
-                    plan.count_within_many(points[:4], [0.5, 1.0])
-                    future = backend.submit(plan)
+                    future = backend.submit(build_plan())
+                    proc.kill()
+                    start = time.monotonic()
+                    results = future.result()
+                    assert time.monotonic() - start < 30.0
+                    for slot, (value, expected) in enumerate(
+                            zip(results, reference)):
+                        assert results_equal(value, expected), slot
+                    stats = backend.pool_stats()
+                    assert stats["adopted_shards"] == 2  # shards 0 and 2
+                    assert stats["replayed_tasks"] >= 2
+                    assert stats["live_nodes"] == 1
+                    # The backend keeps serving after the loss.
+                    assert np.array_equal(backend.radius_counts(0.5),
+                                          dense.radius_counts(0.5))
+                finally:
+                    backend.close()
+        finally:
+            proc.kill()
+            proc.wait(timeout=10)
+            proc.stdout.close()
+
+        # Failover off: the same kill surfaces as a clean error within
+        # seconds — no hang, no partial merge (the PR 7 contract).
+        proc, victim = spawn_victim()
+        try:
+            with node_cluster(1) as survivors:
+                backend = DistributedBackend(points,
+                                             nodes=[victim, survivors[0]],
+                                             num_shards=4, retries=0)
+                try:
+                    backend._clients[0].send(("debug_sleep", 60.0))
+                    future = backend.submit(build_plan())
                     proc.kill()
                     start = time.monotonic()
                     with pytest.raises(BackendUnavailableError):
@@ -564,7 +670,7 @@ class TestFaultInjection:
                 try:
                     assert np.array_equal(
                         replacement.radius_counts(0.5),
-                        DenseBackend(points).radius_counts(0.5),
+                        dense.radius_counts(0.5),
                     )
                 finally:
                     replacement.close()
@@ -572,6 +678,335 @@ class TestFaultInjection:
             proc.kill()
             proc.wait(timeout=10)
             proc.stdout.close()
+
+
+class TestFailover:
+    """With retries on (the default) node death is absorbed: re-dial when
+    the node comes back, ring-order shard adoption when it does not, replay
+    of only the failed batch — and never a changed released bit."""
+
+    def test_client_redial_and_ping(self):
+        """NodeClient.redial() resets a poisoned client onto a fresh
+        connection; ping() is the cheap health probe (False on a dead
+        client or an unreachable server, never an exception)."""
+        with node_cluster(1) as addresses:
+            client = NodeClient(*parse_node_address(addresses[0]))
+            try:
+                assert client.ping()
+                client.send(("debug_drop",))
+                with pytest.raises(BackendUnavailableError):
+                    client.call(("ping",))
+                assert not client.alive
+                assert client.ping() is False  # dead client: no exception
+                client.redial()
+                assert client.alive
+                assert client.ping()
+            finally:
+                client.close()
+        # Server gone: redial itself fails cleanly and leaves the client
+        # poisoned with the re-dial error.
+        with pytest.raises(BackendUnavailableError, match="re-dial"):
+            client.redial(connect_timeout=0.5)
+        assert not client.alive
+
+    def test_redial_after_connection_drop(self):
+        """A dropped connection with the server still up: the node is
+        re-dialed (re-``init``), the failed batch replayed, nothing
+        adopted — and the counts do not move a bit."""
+        points = DATASETS["random-2d"]
+        dense = DenseBackend(points)
+        with distributed_backend(points, 2, num_shards=4,
+                                 retry_backoff=0.01) as backend:
+            before = backend.radius_counts(0.5)
+            backend._clients[0].send(("debug_drop",))
+            after = backend.radius_counts(0.5)
+            assert results_equal(before, after)
+            assert np.array_equal(after, dense.radius_counts(0.5))
+            stats = backend.pool_stats()
+            assert stats["redials"] == 1
+            assert stats["adopted_shards"] == 0
+            assert stats["replayed_tasks"] == 2  # node 0's shards 0 and 2
+            assert stats["live_nodes"] == 2
+
+    def test_replayed_init_is_idempotent(self):
+        """The recovery path replays ``init`` on every fresh connection; a
+        replay matching the connection's live backend must be a no-op
+        (keeping warm caches), while a changed topology must rebuild."""
+        points = DATASETS["random-2d"]
+        with node_cluster(1) as addresses:
+            client = NodeClient(*parse_node_address(addresses[0]))
+            try:
+                request = ("init", points, 4, 0, "auto")
+                first = client.call(request)["value"]
+                again = client.call(request)["value"]
+                assert first["reused"] is False
+                assert again["reused"] is True
+                rebuilt = client.call(("init", points, 3, 0, "auto"))["value"]
+                assert rebuilt["reused"] is False
+                assert rebuilt["num_shards"] == 3
+            finally:
+                client.close()
+
+    @pytest.mark.parametrize("num_nodes", (2, 3))
+    def test_adoption_between_releases(self, small_cluster_data,
+                                       loose_params, num_nodes):
+        """A node killed *between* releases: the survivors adopt its
+        shards and the next release is bitwise the healthy reference
+        (2→1 and 3→2 topologies)."""
+        points = small_cluster_data.points
+        reference = good_radius(points, 200, loose_params, rng=11,
+                                backend="dense")
+        servers = [NodeServer().start() for _ in range(num_nodes)]
+        try:
+            backend = DistributedBackend(
+                points, nodes=[server.address for server in servers],
+                num_shards=4, retry_backoff=0.01,
+            )
+            try:
+                healthy = good_radius(points, 200, loose_params, rng=11,
+                                      backend=backend)
+                servers[-1].stop()  # SIGKILL-equivalent for in-thread nodes
+                # A fresh raw query first: the release below could be
+                # answered from the coordinator's memoised statistic, and
+                # the point here is to *hit* the dead node and adopt.
+                assert np.array_equal(
+                    backend.radius_counts(0.1234),
+                    DenseBackend(points).radius_counts(0.1234),
+                )
+                degraded = good_radius(points, 200, loose_params, rng=11,
+                                       backend=backend)
+                stats = backend.pool_stats()
+            finally:
+                backend.close()
+        finally:
+            for server in servers:
+                server.stop()
+        for released in (healthy, degraded):
+            assert released.radius == reference.radius
+            assert released.score == reference.score
+        assert stats["adopted_shards"] > 0
+        assert stats["live_nodes"] == num_nodes - 1
+        assert stats["nodes"][-1] is None
+
+    def test_adoption_is_deterministic(self):
+        """Same survivor set → same shard map: adoption follows the fixed
+        next-live-node-in-ring-order rule, so two backends that lose the
+        same node agree on every owner (same batching, same merges)."""
+        points = DATASETS["random-2d"]
+        owner_maps = []
+        for _ in range(2):
+            servers = [NodeServer().start() for _ in range(3)]
+            try:
+                backend = DistributedBackend(
+                    points, nodes=[server.address for server in servers],
+                    num_shards=7, retry_backoff=0.01,
+                )
+                try:
+                    assert backend.shard_owners() == [
+                        shard % 3 for shard in range(7)
+                    ]
+                    servers[1].stop()  # re-dial must fail: adoption, not retry
+                    backend._recover_or_adopt(
+                        1, BackendUnavailableError("test-injected failure")
+                    )
+                    owner_maps.append(backend.shard_owners())
+                    assert backend.live_nodes == [0, 2]
+                finally:
+                    backend.close()
+            finally:
+                for server in servers:
+                    server.stop()
+        assert owner_maps[0] == owner_maps[1]
+        # The ring rule, spelled out: home node 1 is dead, so its shards
+        # (1 and 4) move to the next live node clockwise — node 2.
+        assert owner_maps[0] == [0, 2, 2, 0, 2, 2, 0]
+
+    def test_mid_plan_death_recovers(self):
+        """A submitted (in-flight) plan whose node dies mid-flight:
+        result() routes through the same recovery path and returns results
+        bitwise identical to the healthy run's."""
+        points = DATASETS["random-2d"]
+        dense = DenseBackend(points)
+
+        def build_plan():
+            plan = QueryPlan()
+            plan.count_within_many(points[:5], [0.3, 0.8])
+            return plan
+
+        reference = dense.execute(build_plan())
+        with distributed_backend(points, 2, num_shards=4,
+                                 retry_backoff=0.01) as backend:
+            # The drop is queued *before* the plan: the server reads it
+            # first and closes, so the plan's batch to node 1 is in flight
+            # on a connection that will never answer (sending it after the
+            # plan would be harmless — the server replies in order, so the
+            # batch reply would already be on the wire).
+            backend._clients[1].send(("debug_drop",))
+            future = backend.submit(build_plan())
+            results = future.result()
+            assert future.done()
+            for slot, (value, expected) in enumerate(zip(results, reference)):
+                assert results_equal(value, expected), slot
+            stats = backend.pool_stats()
+            assert stats["redials"] == 1
+            # Node 1's two tasks replay after the redial; in the rarer
+            # race the *send* itself fails and the batch is re-routed
+            # before it ever ran, which counts as nothing replayed.
+            assert stats["replayed_tasks"] in (0, 2)
+
+    def test_retry_exhaustion_raises_no_partial_merge(self):
+        """Every node dead: recovery is exhausted and the collective
+        raises the clean error — never a merge of the shards that did
+        answer."""
+        points = DATASETS["random-2d"]
+        servers = [NodeServer().start() for _ in range(2)]
+        backend = DistributedBackend(
+            points, nodes=[server.address for server in servers],
+            num_shards=4, retry_backoff=0.01,
+        )
+        try:
+            future = backend.submit(QueryPlan())  # coordinator-only plan
+            for server in servers:
+                server.stop()
+            start = time.monotonic()
+            with pytest.raises(BackendUnavailableError):
+                backend.radius_counts(0.5)
+            assert time.monotonic() - start < 10.0
+            with pytest.raises(BackendUnavailableError):
+                backend.kth_distances(2)  # stays dead, stays clean
+            assert future.result() == []  # empty plans never touch nodes
+        finally:
+            backend.close()
+            for server in servers:
+                server.stop()
+
+    def test_good_center_release_survives_node_kill(self,
+                                                    medium_cluster_data,
+                                                    monkeypatch):
+        """The acceptance pin: a `good_center` release with a node killed
+        mid-run is byte-identical to the healthy-topology release.  The
+        kill lands between collectives of the same run (while speculative
+        plans may be in flight), so both the synchronous and the
+        submitted-plan recovery paths are exercised."""
+        points = medium_cluster_data.points
+        params = PrivacyParams(8.0, 1e-5)
+        reference = good_center(points, radius=0.05, target=400,
+                                params=params, rng=3)
+        servers = [NodeServer().start() for _ in range(3)]
+        calls = {"n": 0}
+        original = DistributedBackend._send_batches
+
+        def killing_send(self, tasks, indices, guard):
+            calls["n"] += 1
+            if calls["n"] == 4:  # mid-run: after init, before the end
+                servers[1].stop()
+            return original(self, tasks, indices, guard)
+
+        monkeypatch.setattr(DistributedBackend, "_send_batches",
+                            killing_send)
+        try:
+            backend = DistributedBackend(
+                points, nodes=[server.address for server in servers],
+                num_shards=6, retry_backoff=0.01,
+            )
+            try:
+                released = good_center(points, radius=0.05, target=400,
+                                       params=params, rng=3,
+                                       backend=backend)
+                stats = backend.pool_stats()
+            finally:
+                backend.close()
+        finally:
+            for server in servers:
+                server.stop()
+        assert calls["n"] >= 4, "the kill never landed; rotate the trigger"
+        assert stats["adopted_shards"] == 2  # node 1's shards 1 and 4
+        assert stats["replayed_tasks"] > 0
+        assert stats["live_nodes"] == 2
+        assert released.found == reference.found
+        assert released.attempts == reference.attempts
+        if reference.found:
+            assert np.array_equal(released.center, reference.center)
+            assert released.radius_bound == reference.radius_bound
+
+    def test_iter_shards_wave_fills_node_workers(self, monkeypatch):
+        """The streaming wave defaults to num_nodes × node_workers — one
+        task per node-local worker slot per wave — so a node's whole pool
+        is busy during a streaming walk, not just one worker."""
+        points = DATASETS["random-2d"]
+        # Server-side override keeps the nodes serial (cheap) while the
+        # coordinator still *believes* node_workers=3, which is the side
+        # the wave default must read.
+        servers = [NodeServer(num_workers=0).start() for _ in range(2)]
+        try:
+            backend = DistributedBackend(
+                points, nodes=[server.address for server in servers],
+                node_workers=3, num_shards=12,
+            )
+            try:
+                batches = []
+
+                def fake_dispatch(self, tasks):
+                    batches.append(len(tasks))
+                    return [None] * len(tasks)
+
+                monkeypatch.setattr(DistributedBackend, "_dispatch_tasks",
+                                    fake_dispatch)
+                drained = list(backend._iter_shards("counts", (0.5,)))
+                assert len(drained) == 12
+                assert batches == [6, 6]  # 2 nodes × 3 workers per wave
+            finally:
+                monkeypatch.undo()
+                backend.close()
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_pool_stats_pipelines_requests(self, monkeypatch):
+        """pool_stats writes every node's request before reading any
+        reply (the init pattern), so the round trips overlap instead of
+        serialising."""
+        points = DATASETS["random-2d"]
+        with distributed_backend(points, 3, num_shards=3) as backend:
+            events = []
+            original_send = NodeClient.send
+            original_wait = PendingReply.wait
+
+            def spy_send(self, request):
+                if isinstance(request, tuple) and request \
+                        and request[0] == "pool_stats":
+                    events.append("send")
+                return original_send(self, request)
+
+            def spy_wait(self, timeout=None):
+                events.append("wait")
+                return original_wait(self, timeout)
+
+            monkeypatch.setattr(NodeClient, "send", spy_send)
+            monkeypatch.setattr(PendingReply, "wait", spy_wait)
+            stats = backend.pool_stats()
+            assert len(stats["nodes"]) == 3
+            assert all(entry is not None for entry in stats["nodes"])
+            assert events == ["send"] * 3 + ["wait"] * 3
+
+    def test_config_threads_retry_knobs(self):
+        """OneClusterConfig carries the failover knobs through to the
+        backend constructor options (and validates them)."""
+        config = OneClusterConfig(neighbor_backend="distributed",
+                                  neighbor_nodes=("127.0.0.1:1",),
+                                  neighbor_node_retries=0,
+                                  neighbor_node_retry_backoff=0.25)
+        assert config.neighbor_backend_options() == {
+            "nodes": ["127.0.0.1:1"], "retries": 0, "retry_backoff": 0.25,
+        }
+        defaults = OneClusterConfig(neighbor_backend="distributed",
+                                    neighbor_nodes=("127.0.0.1:1",))
+        options = defaults.neighbor_backend_options()
+        assert "retries" not in options and "retry_backoff" not in options
+        with pytest.raises(ValueError, match="neighbor_node_retries"):
+            OneClusterConfig(neighbor_node_retries=-1)
+        with pytest.raises(ValueError, match="neighbor_node_retry_backoff"):
+            OneClusterConfig(neighbor_node_retry_backoff=-0.1)
 
 
 class TestWorkStealing:
