@@ -577,6 +577,81 @@ def bench_json_distributed(n: int, rng_seed: int, num_nodes: int) -> dict:
     }
 
 
+def bench_json_service(n: int, rng_seed: int, workers=None,
+                       queries_per_tenant: int = 4) -> dict:
+    """The ``--service`` column: service throughput at two concurrent
+    tenants sharing one resident sharded dataset.
+
+    Measures the deployment-shaped number the library benches cannot:
+    queries/s through the full front door — admission-time budget charge,
+    bounded FIFO queue, executor hand-off — against a backend that stays
+    warm across every query.  One release is asserted bitwise identical to
+    the same-seed direct library call, so the row also re-pins service
+    parity at benchmark scale.
+    """
+    import threading
+
+    from repro.core.good_radius import good_radius
+    from repro.service import ClusteringService
+
+    dimension = 16
+    target = n // 2
+    data = planted_cluster(n=n, d=dimension, cluster_size=int(0.6 * n),
+                           cluster_radius=0.05,
+                           center=[0.5] * dimension, rng=rng_seed)
+    params = PrivacyParams(1.0, 1e-7)
+    with ClusteringService() as service:
+        service.register_dataset("bench", data.points, backend="sharded",
+                                 options=(None if workers is None
+                                          else {"num_workers": workers}))
+        for tenant in ("alice", "bob"):
+            service.create_tenant(
+                tenant, PrivacyParams(4.0 * queries_per_tenant, 1e-4))
+        # Warm the resident pool so the row measures steady-state serving.
+        service.good_radius("alice", "bench", target=target, params=params,
+                            rng=rng_seed).result()
+        results: dict = {}
+
+        def run_tenant(tenant, seed_base):
+            jobs = [service.good_radius(tenant, "bench", target=target,
+                                        params=params, rng=seed_base + i)
+                    for i in range(queries_per_tenant)]
+            results[tenant] = [job.result() for job in jobs]
+
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=run_tenant, args=("alice", 100)),
+            threading.Thread(target=run_tenant, args=("bob", 200)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+        stats = service.service_stats()
+        # Service parity at bench scale: re-run one query directly.
+        direct = good_radius(data.points, target=target, params=params,
+                             rng=100)
+        assert results["alice"][0].radius == direct.radius, \
+            "service release diverged from the direct call"
+    total = 2 * queries_per_tenant
+    return {
+        "bench": "service_throughput",
+        "n": n,
+        "d": dimension,
+        "target": target,
+        "tenants": 2,
+        "queries": total,
+        "wall_seconds": wall,
+        "queries_per_second": total / wall,
+        "kernel_mode": kernels.KERNEL_MODE,
+        "tenant_spend_epsilon": {
+            tenant: stats["tenants"][tenant]["spent"]["epsilon"]
+            for tenant in ("alice", "bob")
+        },
+    }
+
+
 def run_json(args) -> None:
     """``--json``: write the persisted benchmark trajectory and print a recap."""
     configs = []
@@ -593,6 +668,14 @@ def run_json(args) -> None:
               f"d=16, {args.distributed} loopback nodes ...", flush=True)
         configs.append(bench_json_distributed(release_n, args.rng,
                                               args.distributed))
+    if args.service:
+        # The service row runs at the *largest* requested size (capped):
+        # its point is steady-state serving against a warm resident pool,
+        # which only shows at benchmark scale.
+        service_n = min(max(args.sizes), JSON_RELEASE_CAP)
+        print(f"running service throughput at n={service_n}, d=16, "
+              f"2 concurrent tenants ...", flush=True)
+        configs.append(bench_json_service(service_n, args.rng, args.workers))
     payload = {
         "schema": 1,
         "generated_by": "benchmarks/bench_backends.py --json",
@@ -609,6 +692,12 @@ def run_json(args) -> None:
             print(f"  distance_slab        n={config['n']:>7}: "
                   f"{config['seconds']:.4f}s  "
                   f"({config['pairs_per_second']:.3g} pairs/s, "
+                  f"{config['kernel_mode']})")
+        elif config["bench"] == "service_throughput":
+            print(f"  service_throughput   n={config['n']:>7}: "
+                  f"{config['wall_seconds']:.3f}s for {config['queries']} "
+                  f"queries across {config['tenants']} tenants "
+                  f"({config['queries_per_second']:.2f} q/s, "
                   f"{config['kernel_mode']})")
         else:
             rate = config["speculation"]["hit_rate"]
@@ -669,6 +758,12 @@ def main() -> None:
                              "through the distributed backend over NODES "
                              "(default 2) loopback node servers, appending "
                              "a good_center_distributed column")
+    parser.add_argument("--service", action="store_true",
+                        help="with --json: also run the multi-tenant "
+                             "service throughput workload (two concurrent "
+                             "tenants, good_radius queries against one "
+                             "resident sharded dataset), appending a "
+                             "service_throughput column with queries/s")
     parser.add_argument("--rng", type=int, default=0)
     args = parser.parse_args()
     if args.sizes is None:

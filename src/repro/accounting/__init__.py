@@ -1,4 +1,11 @@
-"""Privacy accounting: parameters, composition theorems, and a spend ledger."""
+"""Privacy accounting: parameters, composition theorems, and ledgers.
+
+Two ledgers live here: the observational
+:class:`~repro.accounting.ledger.PrivacyLedger` (records spends, enforces
+nothing) and the enforcing
+:class:`~repro.accounting.budget.BudgetedLedger` (per-tenant cap with
+atomic admission control — the service layer's budget substrate).
+"""
 
 from repro.accounting.params import PrivacyParams
 from repro.accounting.composition import (
@@ -9,6 +16,7 @@ from repro.accounting.composition import (
     subsample_amplification,
 )
 from repro.accounting.ledger import PrivacyLedger, LedgerEntry
+from repro.accounting.budget import BudgetedLedger, BudgetExhaustedError
 
 __all__ = [
     "PrivacyParams",
@@ -19,4 +27,6 @@ __all__ = [
     "subsample_amplification",
     "PrivacyLedger",
     "LedgerEntry",
+    "BudgetedLedger",
+    "BudgetExhaustedError",
 ]

@@ -1,0 +1,281 @@
+"""Enforcing per-tenant privacy budgets.
+
+The :class:`~repro.accounting.ledger.PrivacyLedger` is observational — it
+records what was spent and leaves correctness to the algorithms.  A
+long-lived multi-tenant service cannot work that way: a tenant's queries
+arrive forever, so something must *refuse* the query that would push the
+tenant's cumulative privacy loss past its contract.  :class:`BudgetedLedger`
+is that something: a cap ``(epsilon, delta)`` over an internal
+:class:`~repro.accounting.ledger.PrivacyLedger`, with an atomic
+check-then-record :meth:`~BudgetedLedger.charge` that either admits the
+spend or raises :class:`BudgetExhaustedError` — never half of each.
+
+Composition rule
+----------------
+``composition="basic"`` (default) admits by the Theorem 2.1 sums — exact,
+predictable, the right choice for few large queries.
+``composition="advanced"`` additionally tries the Theorem 4.7 bound (with
+the homogeneous max-epsilon pessimism documented on
+:meth:`~repro.accounting.ledger.PrivacyLedger.total_advanced`): a charge is
+admitted when **either** bound fits the cap, which is sound because both
+bounds hold simultaneously — advanced composition lets a tenant of many
+small queries run ~quadratically longer, while basic keeps the first few
+queries from being penalised by the ``2 k eps^2`` term.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.accounting.composition import advanced_composition_epsilon
+from repro.accounting.ledger import PrivacyLedger
+from repro.accounting.params import PrivacyParams
+
+#: Relative slack on the cap comparison, so a tenant whose charges are meant
+#: to sum exactly to the cap (four eps/4 queries against eps) is not refused
+#: its last query over one float ulp of the running sum.
+CAP_RELATIVE_TOLERANCE = 1e-9
+
+
+class BudgetExhaustedError(RuntimeError):
+    """A charge was refused because it would exceed the tenant's budget cap.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant whose budget was exhausted (``""`` for an anonymous
+        ledger).
+    requested:
+        The :class:`~repro.accounting.params.PrivacyParams` of the refused
+        charge.
+    spent:
+        The composed spend *before* the refused charge (``None`` when
+        nothing was admitted yet).
+    cap:
+        The tenant's budget cap.
+    """
+
+    def __init__(self, tenant: str, requested: PrivacyParams,
+                 spent: Optional[PrivacyParams], cap: PrivacyParams) -> None:
+        self.tenant = tenant
+        self.requested = requested
+        self.spent = spent
+        self.cap = cap
+        spent_text = ("nothing spent yet" if spent is None else
+                      f"spent ({spent.epsilon:g}, {spent.delta:g})")
+        who = f"tenant {tenant!r}" if tenant else "this ledger"
+        super().__init__(
+            f"budget exhausted for {who}: requested "
+            f"({requested.epsilon:g}, {requested.delta:g}) with {spent_text} "
+            f"against cap ({cap.epsilon:g}, {cap.delta:g})"
+        )
+
+
+class BudgetedLedger:
+    """A thread-safe enforcing budget: cap + observational ledger + refusal.
+
+    Parameters
+    ----------
+    cap:
+        The total ``(epsilon, delta)`` the tenant may ever spend.
+    composition:
+        ``"basic"`` (default) or ``"advanced"`` — see the module docstring.
+    delta_prime:
+        The advanced-composition slack; required (in ``(0, 1)``, and below
+        ``cap.delta``) when ``composition="advanced"``, rejected otherwise.
+    tenant:
+        Optional tenant name, used only in error messages and stats.
+
+    Notes
+    -----
+    A charge is debited at *admission*: once admitted it is never refunded
+    on query failure (the mechanism may already have touched the data, so
+    refunding would be unsound — the conservative reading every DP
+    accountant takes).  The one exception is :meth:`rollback`, for a charge
+    whose request provably never ran (e.g. the service's queue was full).
+    """
+
+    def __init__(self, cap: PrivacyParams, composition: str = "basic",
+                 delta_prime: Optional[float] = None,
+                 tenant: str = "") -> None:
+        if not isinstance(cap, PrivacyParams):
+            raise TypeError(
+                f"cap must be a PrivacyParams, got {type(cap).__name__}"
+            )
+        if composition not in ("basic", "advanced"):
+            raise ValueError(
+                f"composition must be 'basic' or 'advanced', got "
+                f"{composition!r}"
+            )
+        if composition == "advanced":
+            if delta_prime is None:
+                raise ValueError(
+                    "composition='advanced' requires delta_prime (the "
+                    "Theorem 4.7 slack, in (0, 1))"
+                )
+            if not (0 < delta_prime < 1):
+                raise ValueError(
+                    f"delta_prime must lie in (0,1), got {delta_prime}"
+                )
+            if delta_prime >= cap.delta:
+                raise ValueError(
+                    f"delta_prime ({delta_prime:g}) must be below the delta "
+                    f"cap ({cap.delta:g}); the advanced bound's delta is "
+                    "sum(deltas) + delta_prime, so no charge could ever fit"
+                )
+        elif delta_prime is not None:
+            raise ValueError(
+                "delta_prime only applies to composition='advanced'"
+            )
+        self._cap = cap
+        self._composition = composition
+        self._delta_prime = delta_prime
+        self._tenant = str(tenant)
+        self._ledger = PrivacyLedger()
+        self._refused = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def cap(self) -> PrivacyParams:
+        """The budget cap."""
+        return self._cap
+
+    @property
+    def tenant(self) -> str:
+        """The tenant name ("" when anonymous)."""
+        return self._tenant
+
+    @property
+    def composition(self) -> str:
+        """The admission rule ("basic" or "advanced")."""
+        return self._composition
+
+    @property
+    def ledger(self) -> PrivacyLedger:
+        """The underlying observational ledger (admitted charges only)."""
+        return self._ledger
+
+    def __len__(self) -> int:
+        return len(self._ledger)
+
+    # ------------------------------------------------------------------ #
+    # Composition arithmetic
+    # ------------------------------------------------------------------ #
+    def _compose(self, parts) -> Optional[PrivacyParams]:
+        """The bound compared against the cap for the given spends: basic
+        sums, or — under the advanced rule — whichever of {basic, advanced}
+        has the smaller epsilon (both are simultaneously valid)."""
+        parts = list(parts)
+        if not parts:
+            return None
+        basic = PrivacyParams(sum(p.epsilon for p in parts),
+                              min(sum(p.delta for p in parts), 1 - 1e-15))
+        if self._composition == "basic":
+            return basic
+        k = len(parts)
+        step = max(p.epsilon for p in parts)
+        advanced_epsilon = advanced_composition_epsilon(step, k,
+                                                        self._delta_prime)
+        if advanced_epsilon >= basic.epsilon:
+            return basic
+        delta = sum(p.delta for p in parts) + self._delta_prime
+        return PrivacyParams(advanced_epsilon, min(delta, 1 - 1e-15))
+
+    def _fits(self, total: PrivacyParams) -> bool:
+        slack = 1.0 + CAP_RELATIVE_TOLERANCE
+        return (total.epsilon <= self._cap.epsilon * slack
+                and total.delta <= self._cap.delta * slack)
+
+    # ------------------------------------------------------------------ #
+    # The enforcing API
+    # ------------------------------------------------------------------ #
+    def spent(self) -> Optional[PrivacyParams]:
+        """The composed spend of all admitted charges (``None`` when no
+        charge was admitted yet)."""
+        with self._lock:
+            return self._compose(e.params for e in self._ledger.entries)
+
+    def remaining_epsilon(self) -> float:
+        """The epsilon still admissible under the cap (never negative)."""
+        spent = self.spent()
+        used = 0.0 if spent is None else spent.epsilon
+        return max(0.0, self._cap.epsilon - used)
+
+    def remaining_delta(self) -> float:
+        """The delta still admissible under the cap (never negative)."""
+        spent = self.spent()
+        used = 0.0 if spent is None else spent.delta
+        return max(0.0, self._cap.delta - used)
+
+    def can_charge(self, params: PrivacyParams) -> bool:
+        """Whether :meth:`charge` would currently admit ``params`` (racy by
+        nature — only :meth:`charge` itself is an atomic admission)."""
+        with self._lock:
+            candidate = self._compose(
+                [e.params for e in self._ledger.entries] + [params]
+            )
+            return self._fits(candidate)
+
+    def charge(self, mechanism: str, params: PrivacyParams,
+               note: str = "") -> PrivacyParams:
+        """Atomically admit-and-record one spend, or refuse it.
+
+        Composes the would-be total over the admitted entries plus
+        ``params``; if it fits the cap the entry is recorded and the new
+        composed total returned, otherwise nothing is recorded and
+        :class:`BudgetExhaustedError` is raised.  The check and the record
+        happen under one lock, so concurrent tenant threads can never
+        jointly overshoot the cap.
+        """
+        if not isinstance(params, PrivacyParams):
+            raise TypeError(
+                f"params must be a PrivacyParams, got {type(params).__name__}"
+            )
+        with self._lock:
+            prior = [e.params for e in self._ledger.entries]
+            candidate = self._compose(prior + [params])
+            if not self._fits(candidate):
+                self._refused += 1
+                raise BudgetExhaustedError(self._tenant, params,
+                                           self._compose(prior), self._cap)
+            self._ledger.record(mechanism, params, note=note)
+            return candidate
+
+    def rollback(self) -> None:
+        """Refund the most recently admitted charge.
+
+        Only for a charge whose query provably never ran — the service uses
+        it when admission succeeded but the bounded request queue refused
+        the enqueue, so no mechanism ever saw the data.
+        """
+        with self._lock:
+            self._ledger.pop()
+
+    def stats(self) -> dict:
+        """Spend / remaining / cap / counters, as one JSON-friendly dict."""
+        with self._lock:
+            entries = self._ledger.entries
+            spent = self._compose(e.params for e in entries)
+            refused = self._refused
+        return {
+            "tenant": self._tenant,
+            "composition": self._composition,
+            "cap": {"epsilon": self._cap.epsilon, "delta": self._cap.delta},
+            "spent": (None if spent is None else
+                      {"epsilon": spent.epsilon, "delta": spent.delta}),
+            "remaining": {
+                "epsilon": max(0.0, self._cap.epsilon
+                               - (0.0 if spent is None else spent.epsilon)),
+                "delta": max(0.0, self._cap.delta
+                             - (0.0 if spent is None else spent.delta)),
+            },
+            "queries": len(entries),
+            "refused": refused,
+        }
+
+
+__all__ = ["BudgetExhaustedError", "BudgetedLedger", "CAP_RELATIVE_TOLERANCE"]

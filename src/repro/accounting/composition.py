@@ -43,11 +43,24 @@ def basic_composition(parts: Iterable[PrivacyParams]) -> PrivacyParams:
 
 def advanced_composition_epsilon(epsilon: float, k: int, delta_prime: float) -> float:
     """The epsilon obtained when composing ``k`` ``epsilon``-DP steps
-    under advanced composition with slack ``delta_prime`` (Theorem 4.7)."""
+    under advanced composition with slack ``delta_prime`` (Theorem 4.7).
+
+    All inputs are validated eagerly — ``k < 1``, ``delta_prime`` outside
+    ``(0, 1)``, a non-finite or negative ``epsilon`` — with descriptive
+    ``ValueError``\\ s rather than letting ``log``/``sqrt`` return NaN or a
+    negative "composed" value that would silently corrupt a downstream
+    budget comparison (the enforcing
+    :class:`~repro.accounting.budget.BudgetedLedger` admits queries by
+    comparing this value against a cap).
+    """
     if k < 1:
         raise ValueError(f"k must be at least 1, got {k}")
     if not (0 < delta_prime < 1):
         raise ValueError(f"delta_prime must lie in (0,1), got {delta_prime}")
+    if not (math.isfinite(epsilon) and epsilon >= 0):
+        raise ValueError(
+            f"epsilon must be finite and non-negative, got {epsilon}"
+        )
     return 2.0 * k * epsilon ** 2 + epsilon * math.sqrt(2.0 * k * math.log(1.0 / delta_prime))
 
 

@@ -4,12 +4,20 @@ Composite algorithms (GoodRadius, GoodCenter, SA, ...) optionally record every
 sub-mechanism invocation into a :class:`PrivacyLedger`.  Tests assert that the
 recorded total never exceeds the budget handed to the top-level algorithm,
 which guards against accounting regressions when the implementation changes.
+
+The ledger is thread-safe: the multi-tenant service layer
+(:mod:`repro.service`) records spends from its per-dataset executor threads
+while stats readers total them from other threads, so ``record`` /
+``total_*`` / ``clear`` synchronise on an internal lock and every read
+(``entries``, :meth:`PrivacyLedger.mechanisms`) returns a *snapshot* — a
+fresh list that later recordings never mutate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+import threading
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
 
 from repro.accounting.composition import advanced_composition_epsilon, basic_composition
 from repro.accounting.params import PrivacyParams
@@ -24,51 +32,100 @@ class LedgerEntry:
     note: str = ""
 
 
-@dataclass
 class PrivacyLedger:
     """Accumulates privacy spends from sub-mechanisms.
 
     The ledger is purely observational: it does not enforce a cap (the
     algorithms themselves split budgets correctly), but it exposes the basic-
-    composition total so callers and tests can verify the arithmetic.
+    composition total so callers and tests can verify the arithmetic.  The
+    *enforcing* variant — a per-tenant cap with admission control — is
+    :class:`repro.accounting.budget.BudgetedLedger`, which composes one of
+    these.
+
+    All methods are safe to call from multiple threads; reads return
+    snapshots (see the module docstring).
     """
 
-    entries: List[LedgerEntry] = field(default_factory=list)
+    def __init__(self, entries: Optional[Iterable[LedgerEntry]] = None) -> None:
+        self._entries: List[LedgerEntry] = list(entries) if entries else []
+        self._lock = threading.Lock()
+
+    @property
+    def entries(self) -> List[LedgerEntry]:
+        """A snapshot of the recorded entries, in recording order.
+
+        The returned list is a copy: mutating it never touches the ledger,
+        and concurrent ``record`` calls never mutate it.
+        """
+        with self._lock:
+            return list(self._entries)
 
     def record(self, mechanism: str, params: PrivacyParams, note: str = "") -> None:
         """Record one sub-mechanism invocation."""
-        self.entries.append(LedgerEntry(mechanism=mechanism, params=params, note=note))
+        entry = LedgerEntry(mechanism=mechanism, params=params, note=note)
+        with self._lock:
+            self._entries.append(entry)
+
+    def pop(self) -> Optional[LedgerEntry]:
+        """Remove and return the most recently recorded entry (``None`` when
+        the ledger is empty).  :class:`~repro.accounting.budget.BudgetedLedger`
+        uses this to roll back an admitted charge whose request could not be
+        enqueued after all."""
+        with self._lock:
+            return self._entries.pop() if self._entries else None
 
     def total_basic(self) -> Optional[PrivacyParams]:
         """The basic-composition total of all recorded spends."""
-        if not self.entries:
+        entries = self.entries
+        if not entries:
             return None
-        return basic_composition(entry.params for entry in self.entries)
+        return basic_composition(entry.params for entry in entries)
 
     def total_advanced(self, delta_prime: float) -> Optional[PrivacyParams]:
-        """A (loose) advanced-composition total assuming homogeneous entries.
+        """An advanced-composition total assuming *homogeneous* entries.
 
-        Uses the maximum per-entry epsilon as the homogeneous step epsilon.
-        Intended for reporting, not for enforcing budgets.
+        Theorem 4.7 composes ``k`` copies of one ``(eps, delta)`` step.  This
+        ledger's entries are generally heterogeneous, so the theorem is
+        applied with the **maximum** per-entry epsilon standing in for every
+        step — a valid but deliberately pessimistic bound: one large entry
+        among ``k`` small ones is counted as if all ``k`` were large (the
+        bound degrades quadratically in the outlier epsilon through the
+        ``2 k eps^2`` term).  Use it for reporting; budget *splitting* should
+        compose the actual per-step parameters instead.  The returned delta
+        is the exact sum of the per-entry deltas plus ``delta_prime``.
+
+        Parameters
+        ----------
+        delta_prime:
+            The composition slack; must lie in ``(0, 1)`` (validated by
+            :func:`~repro.accounting.composition.advanced_composition_epsilon`,
+            which raises ``ValueError`` on bad inputs rather than returning
+            NaN).
         """
-        if not self.entries:
+        entries = self.entries
+        if not entries:
             return None
-        k = len(self.entries)
-        step_epsilon = max(entry.params.epsilon for entry in self.entries)
+        k = len(entries)
+        step_epsilon = max(entry.params.epsilon for entry in entries)
         epsilon = advanced_composition_epsilon(step_epsilon, k, delta_prime)
-        delta = sum(entry.params.delta for entry in self.entries) + delta_prime
+        delta = sum(entry.params.delta for entry in entries) + delta_prime
         return PrivacyParams(epsilon, min(delta, 1 - 1e-15))
 
     def mechanisms(self) -> List[str]:
-        """The names of all recorded mechanisms, in order."""
+        """The names of all recorded mechanisms, in order (a snapshot)."""
         return [entry.mechanism for entry in self.entries]
 
     def clear(self) -> None:
         """Drop all recorded entries."""
-        self.entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self.entries)
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"PrivacyLedger(entries={len(self)})"
 
 
 __all__ = ["PrivacyLedger", "LedgerEntry"]

@@ -377,5 +377,49 @@ class OneClusterConfig:
         """A copy with some GoodCenter constants replaced."""
         return replace(self, center=replace(self.center, **overrides))
 
+    def with_neighbors(self, backend: str,
+                       options: Optional[dict] = None) -> "OneClusterConfig":
+        """A copy routing neighbor queries through ``backend`` + ``options``.
+
+        The inverse of :meth:`neighbor_backend_options`: takes a strategy
+        name plus the *constructor* option dict
+        :func:`repro.neighbors.resolve_backend` accepts and folds both back
+        into config fields.  The service layer uses this for queries that
+        must rebuild backends internally (``k_cluster`` re-indexes its
+        shrinking point set every iteration, so a registered dataset's
+        resident *instance* cannot serve it — only its spec can).
+
+        Parameters
+        ----------
+        backend:
+            A strategy name (``"auto"``, ``"dense"``, ``"chunked"``,
+            ``"tree"``, ``"sharded"``, ``"distributed"``).
+        options:
+            Constructor options: ``num_workers`` / ``node_workers`` →
+            ``neighbor_workers``, ``nodes`` → ``neighbor_nodes``,
+            ``retries`` → ``neighbor_node_retries``, ``retry_backoff`` →
+            ``neighbor_node_retry_backoff``.  Unknown keys are rejected
+            (they could not survive the round trip back through
+            :meth:`neighbor_backend_options`).
+        """
+        options = dict(options or {})
+        updates: dict = {"neighbor_backend": str(backend)}
+        if "num_workers" in options:
+            updates["neighbor_workers"] = options.pop("num_workers")
+        if "node_workers" in options:
+            updates["neighbor_workers"] = options.pop("node_workers")
+        if "nodes" in options:
+            updates["neighbor_nodes"] = tuple(options.pop("nodes"))
+        if "retries" in options:
+            updates["neighbor_node_retries"] = options.pop("retries")
+        if "retry_backoff" in options:
+            updates["neighbor_node_retry_backoff"] = options.pop("retry_backoff")
+        if options:
+            raise ValueError(
+                f"unsupported neighbor backend options for config routing: "
+                f"{sorted(options)}"
+            )
+        return replace(self, **updates)
+
 
 __all__ = ["GoodCenterConfig", "OneClusterConfig"]

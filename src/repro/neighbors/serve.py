@@ -272,6 +272,21 @@ class NodeServer:
                 conn.close()
             except OSError:  # pragma: no cover
                 pass
+            # Prune this connection's bookkeeping: without it, a long-lived
+            # node (the service deployment mode) accumulates one dead socket
+            # and one finished Thread object per coordinator that ever
+            # dialed in, released only at stop().  stop() may have swapped
+            # the lists out concurrently, in which case the entries are
+            # already gone and the removes are no-ops.
+            with self._lock:
+                try:
+                    self._connections.remove(conn)
+                except ValueError:
+                    pass
+                try:
+                    self._threads.remove(threading.current_thread())
+                except ValueError:
+                    pass
 
     def _build_backend(self, request: tuple) -> ShardedBackend:
         _, points, num_shards, num_workers, inner_backend = request

@@ -1,0 +1,38 @@
+"""Clustering-as-a-service: a long-lived, multi-tenant query server layer.
+
+The library answers one question per call and tears everything down; this
+package answers the deployment question — *how do many tenants share one
+resident engine without sharing (or overspending) a privacy budget?* —
+with three pieces:
+
+* :class:`~repro.service.registry.DatasetRegistry` — datasets registered
+  once, each with a resident warm
+  :class:`~repro.neighbors.base.NeighborBackend`;
+* :class:`~repro.accounting.budget.BudgetedLedger` (re-exported here for
+  convenience) — per-tenant enforced ``(epsilon, delta)`` caps;
+* :class:`~repro.service.service.ClusteringService` — the front door:
+  bounded per-dataset FIFO queues, per-request
+  :class:`~repro.service.jobs.JobHandle` lifecycle, and every private
+  release *bitwise identical* to the same-seed direct library call.
+"""
+
+from repro.accounting.budget import BudgetedLedger, BudgetExhaustedError
+from repro.service.jobs import JobHandle, JobStatus
+from repro.service.registry import DatasetRegistry, RegisteredDataset
+from repro.service.service import (
+    DEFAULT_MAX_QUEUE,
+    ClusteringService,
+    ServiceSaturatedError,
+)
+
+__all__ = [
+    "BudgetedLedger",
+    "BudgetExhaustedError",
+    "ClusteringService",
+    "DEFAULT_MAX_QUEUE",
+    "DatasetRegistry",
+    "JobHandle",
+    "JobStatus",
+    "RegisteredDataset",
+    "ServiceSaturatedError",
+]

@@ -1,0 +1,147 @@
+"""Request job handles: the progress half of the orchestrator/job split.
+
+Every admitted service request becomes one :class:`JobHandle` that moves
+through ``queued → running → done | failed`` (:class:`JobStatus`).  The
+handle is the *only* object the submitting tenant holds while the request
+sits in a dataset's FIFO queue and while the executor thread runs it, so it
+carries everything a caller (or a stats page) wants to know: identity
+(job id, tenant, dataset, query kind), lifecycle timestamps, and finally
+the solver's result or its exception.  The service mutates the handle from
+its executor threads; callers only read (and block on
+:meth:`JobHandle.result`), so the handle synchronises on one internal lock
+plus a completion event.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+import time
+from typing import Any, Optional
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle of a service request."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+#: Monotonic job ids, unique per process (not per service: two services in
+#: one process never hand out colliding ids, which keeps logs unambiguous).
+_JOB_IDS = itertools.count(1)
+
+
+class JobHandle:
+    """Handle for one admitted request.
+
+    Attributes
+    ----------
+    job_id:
+        Process-unique integer id.
+    tenant, dataset, kind:
+        The ``(who, what, which query)`` identity of the request.
+    """
+
+    def __init__(self, tenant: str, dataset: str, kind: str) -> None:
+        self.job_id = next(_JOB_IDS)
+        self.tenant = tenant
+        self.dataset = dataset
+        self.kind = kind
+        self._lock = threading.Lock()
+        self._done_event = threading.Event()
+        self._status = JobStatus.QUEUED
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self.submitted_at = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Caller-facing reads
+    # ------------------------------------------------------------------ #
+    @property
+    def status(self) -> JobStatus:
+        """The current lifecycle state."""
+        with self._lock:
+            return self._status
+
+    def done(self) -> bool:
+        """Whether the job reached ``DONE`` or ``FAILED``."""
+        return self._done_event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job completes (either way); returns whether it
+        did within ``timeout``."""
+        return self._done_event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """The solver's return value.
+
+        Blocks until the job completes.  A ``FAILED`` job re-raises the
+        executor-side exception here, in the caller's thread — exactly like
+        :meth:`concurrent.futures.Future.result`.
+
+        Parameters
+        ----------
+        timeout:
+            Seconds to wait; ``None`` waits forever.  ``TimeoutError`` is
+            raised when the job is still queued/running at expiry.
+        """
+        if not self._done_event.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job_id} ({self.kind} on {self.dataset!r}) not "
+                f"done within {timeout}s"
+            )
+        with self._lock:
+            if self._error is not None:
+                raise self._error
+            return self._result
+
+    def describe(self) -> dict:
+        """A JSON-friendly snapshot for stats pages."""
+        with self._lock:
+            status = self._status
+            error = self._error
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "dataset": self.dataset,
+            "kind": self.kind,
+            "status": status.value,
+            "error": None if error is None else repr(error),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Service-side transitions (one executor thread per dataset, so each
+    # handle sees its transitions in order)
+    # ------------------------------------------------------------------ #
+    def _mark_running(self) -> None:
+        with self._lock:
+            self._status = JobStatus.RUNNING
+            self.started_at = time.monotonic()
+
+    def _finish(self, result: Any) -> None:
+        with self._lock:
+            self._status = JobStatus.DONE
+            self._result = result
+            self.finished_at = time.monotonic()
+        self._done_event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        with self._lock:
+            self._status = JobStatus.FAILED
+            self._error = error
+            self.finished_at = time.monotonic()
+        self._done_event.set()
+
+    def __repr__(self) -> str:
+        return (f"JobHandle(id={self.job_id}, kind={self.kind!r}, "
+                f"tenant={self.tenant!r}, dataset={self.dataset!r}, "
+                f"status={self.status.value!r})")
+
+
+__all__ = ["JobHandle", "JobStatus"]

@@ -147,3 +147,184 @@ class TestLedger:
             ledger.record("step", PrivacyParams(0.05, 0.0))
         advanced = ledger.total_advanced(1e-6)
         assert advanced.epsilon > 0
+
+
+class TestLedgerThreadSafety:
+    def test_concurrent_records_all_land(self):
+        # The ledger is shared by every thread of a long-lived service
+        # process: concurrent record() calls must neither drop entries nor
+        # corrupt the list.
+        import threading
+
+        ledger = PrivacyLedger()
+        threads_n, per_thread = 8, 250
+
+        def hammer(tid):
+            for i in range(per_thread):
+                ledger.record(f"t{tid}", PrivacyParams(0.001, 1e-12))
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(ledger) == threads_n * per_thread
+        total = ledger.total_basic()
+        assert total.epsilon == pytest.approx(threads_n * per_thread * 0.001)
+
+    def test_entries_is_a_snapshot(self):
+        # Iterating `entries` while another thread records must not blow up
+        # (snapshot semantics), and mutating the snapshot must not touch the
+        # ledger.
+        ledger = PrivacyLedger()
+        ledger.record("a", PrivacyParams(0.1))
+        snapshot = ledger.entries
+        snapshot.append(None)
+        assert len(ledger) == 1
+        assert ledger.entries[0].mechanism == "a"
+
+    def test_pop_returns_last_entry(self):
+        ledger = PrivacyLedger()
+        ledger.record("a", PrivacyParams(0.1))
+        ledger.record("b", PrivacyParams(0.2))
+        entry = ledger.pop()
+        assert entry.mechanism == "b"
+        assert ledger.mechanisms() == ["a"]
+        ledger.pop()
+        assert ledger.pop() is None  # empty pop is a no-op
+
+
+class TestAdvancedCompositionValidation:
+    def test_rejects_bad_epsilon(self):
+        for epsilon in (-0.1, float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="epsilon"):
+                advanced_composition_epsilon(epsilon, 10, 1e-6)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError, match="k"):
+            advanced_composition_epsilon(0.1, 0, 1e-6)
+
+    def test_rejects_bad_delta_prime(self):
+        for delta_prime in (0.0, 1.0, -1e-3, float("nan")):
+            with pytest.raises(ValueError, match="delta_prime"):
+                advanced_composition_epsilon(0.1, 10, delta_prime)
+
+    def test_never_returns_garbage(self):
+        # The enforcing ledger admits by this bound; it must be a finite
+        # non-negative number for every valid input.
+        value = advanced_composition_epsilon(0.0, 5, 1e-6)
+        assert value == 0.0
+        value = advanced_composition_epsilon(0.3, 7, 1e-9)
+        assert math.isfinite(value) and value > 0
+
+
+class TestBudgetedLedger:
+    def test_charges_until_exact_cap_then_refuses(self):
+        from repro.accounting import BudgetedLedger, BudgetExhaustedError
+
+        budget = BudgetedLedger(PrivacyParams(1.0, 1e-6), tenant="alice")
+        step = PrivacyParams(0.25, 1e-8)
+        for _ in range(4):
+            budget.charge("laplace", step)
+        # 4 * 0.25 fills the cap exactly (within one ulp of slack) ...
+        assert budget.spent().epsilon == pytest.approx(1.0)
+        # ... so the fifth charge is refused, atomically: nothing recorded.
+        with pytest.raises(BudgetExhaustedError) as excinfo:
+            budget.charge("laplace", step)
+        assert excinfo.value.tenant == "alice"
+        assert excinfo.value.requested.epsilon == 0.25
+        assert len(budget) == 4
+        assert budget.stats()["refused"] == 1
+
+    def test_delta_cap_enforced_independently(self):
+        from repro.accounting import BudgetedLedger, BudgetExhaustedError
+
+        budget = BudgetedLedger(PrivacyParams(10.0, 1e-6))
+        budget.charge("gaussian", PrivacyParams(0.1, 9e-7))
+        with pytest.raises(BudgetExhaustedError):
+            budget.charge("gaussian", PrivacyParams(0.1, 2e-7))
+
+    def test_oversized_first_charge_refused(self):
+        from repro.accounting import BudgetedLedger, BudgetExhaustedError
+
+        budget = BudgetedLedger(PrivacyParams(1.0, 1e-6))
+        with pytest.raises(BudgetExhaustedError) as excinfo:
+            budget.charge("laplace", PrivacyParams(1.5, 0.0))
+        assert excinfo.value.spent is None
+
+    def test_rollback_refunds_last_charge(self):
+        from repro.accounting import BudgetedLedger
+
+        budget = BudgetedLedger(PrivacyParams(1.0, 1e-6))
+        budget.charge("laplace", PrivacyParams(0.5, 0.0))
+        budget.charge("laplace", PrivacyParams(0.5, 0.0))
+        budget.rollback()
+        assert budget.spent().epsilon == pytest.approx(0.5)
+        assert budget.can_charge(PrivacyParams(0.5, 0.0))
+
+    def test_advanced_admits_more_small_queries(self):
+        from repro.accounting import BudgetedLedger, BudgetExhaustedError
+
+        basic = BudgetedLedger(PrivacyParams(1.0, 1e-4))
+        advanced = BudgetedLedger(PrivacyParams(1.0, 1e-4),
+                                  composition="advanced", delta_prime=1e-6)
+        step = PrivacyParams(0.01, 1e-9)
+
+        def admitted(budget):
+            count = 0
+            try:
+                for _ in range(1000):
+                    budget.charge("m", step)
+                    count += 1
+            except BudgetExhaustedError:
+                pass
+            return count
+
+        basic_count, advanced_count = admitted(basic), admitted(advanced)
+        assert basic_count == 100
+        assert advanced_count > basic_count
+        # The admitted bound itself stays within the cap.
+        assert advanced.spent().epsilon <= 1.0 * (1 + 1e-9)
+        assert advanced.spent().delta <= 1e-4
+
+    def test_constructor_validation(self):
+        from repro.accounting import BudgetedLedger
+
+        with pytest.raises(TypeError, match="PrivacyParams"):
+            BudgetedLedger((1.0, 1e-6))
+        with pytest.raises(ValueError, match="composition"):
+            BudgetedLedger(PrivacyParams(1.0, 1e-6), composition="renyi")
+        with pytest.raises(ValueError, match="delta_prime"):
+            BudgetedLedger(PrivacyParams(1.0, 1e-6), composition="advanced")
+        with pytest.raises(ValueError, match="delta_prime"):
+            BudgetedLedger(PrivacyParams(1.0, 1e-6), composition="advanced",
+                           delta_prime=2e-6 * 1e3)  # above the delta cap
+        with pytest.raises(ValueError, match="delta_prime"):
+            BudgetedLedger(PrivacyParams(1.0, 1e-6), delta_prime=1e-7)
+
+    def test_concurrent_charges_respect_cap(self):
+        import threading
+
+        from repro.accounting import BudgetedLedger, BudgetExhaustedError
+
+        budget = BudgetedLedger(PrivacyParams(1.0, 1e-5))
+        step = PrivacyParams(0.05, 1e-9)
+        admitted = []
+
+        def hammer():
+            for _ in range(10):
+                try:
+                    budget.charge("m", step)
+                    admitted.append(1)
+                except BudgetExhaustedError:
+                    pass
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # check-then-record is atomic: exactly cap/step charges landed.
+        assert len(admitted) == 20
+        assert budget.spent().epsilon == pytest.approx(1.0)

@@ -1125,3 +1125,48 @@ class TestTreeTruncatedCross:
             assert got.tobytes() == expected.tobytes()
 
         run()
+
+
+class TestNodeServerBookkeeping:
+    def test_finished_connections_are_pruned(self):
+        # Regression: the server used to append every accepted connection
+        # (and its thread) to its bookkeeping lists and only release them in
+        # stop() — on a long-lived node, one dead socket + one finished
+        # Thread object leaked per coordinator that ever dialed in.
+        server = NodeServer().start()
+        try:
+            for _ in range(12):
+                client = NodeClient(server.host, server.port)
+                assert client.ping()
+                client.close()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                with server._lock:
+                    if not server._connections and not server._threads:
+                        break
+                time.sleep(0.01)
+            with server._lock:
+                assert server._connections == []
+                assert server._threads == []
+        finally:
+            server.stop()
+
+    def test_live_connection_stays_tracked(self):
+        # Pruning must only cover *finished* connections: a live one stays
+        # in the lists so stop() can still shut it down.
+        server = NodeServer().start()
+        try:
+            client = NodeClient(server.host, server.port)
+            assert client.ping()
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                with server._lock:
+                    if len(server._connections) == 1:
+                        break
+                time.sleep(0.01)
+            with server._lock:
+                assert len(server._connections) == 1
+                assert len(server._threads) == 1
+            client.close()
+        finally:
+            server.stop()
