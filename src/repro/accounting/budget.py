@@ -29,7 +29,7 @@ import threading
 from typing import Optional
 
 from repro.accounting.composition import advanced_composition_epsilon
-from repro.accounting.ledger import PrivacyLedger
+from repro.accounting.ledger import LedgerEntry, PrivacyLedger
 from repro.accounting.params import PrivacyParams
 
 #: Relative slack on the cap comparison, so a tenant whose charges are meant
@@ -165,30 +165,48 @@ class BudgetedLedger:
     # ------------------------------------------------------------------ #
     # Composition arithmetic
     # ------------------------------------------------------------------ #
-    def _compose(self, parts) -> Optional[PrivacyParams]:
-        """The bound compared against the cap for the given spends: basic
-        sums, or — under the advanced rule — whichever of {basic, advanced}
-        has the smaller epsilon (both are simultaneously valid)."""
+    def _bounds(self, parts) -> list:
+        """Every simultaneously-valid composed bound for the given spends:
+        the basic sums always, plus the Theorem 4.7 bound under the advanced
+        rule.  Admission and reporting both choose *among* these — neither
+        may pre-select one bound before checking the cap, because the bounds
+        trade epsilon against delta (advanced shrinks epsilon but adds
+        ``delta_prime`` to delta)."""
         parts = list(parts)
         if not parts:
-            return None
+            return []
+        delta_sum = sum(p.delta for p in parts)
         basic = PrivacyParams(sum(p.epsilon for p in parts),
-                              min(sum(p.delta for p in parts), 1 - 1e-15))
+                              min(delta_sum, 1 - 1e-15))
         if self._composition == "basic":
-            return basic
+            return [basic]
         k = len(parts)
         step = max(p.epsilon for p in parts)
         advanced_epsilon = advanced_composition_epsilon(step, k,
                                                         self._delta_prime)
-        if advanced_epsilon >= basic.epsilon:
-            return basic
-        delta = sum(p.delta for p in parts) + self._delta_prime
-        return PrivacyParams(advanced_epsilon, min(delta, 1 - 1e-15))
+        advanced = PrivacyParams(advanced_epsilon,
+                                 min(delta_sum + self._delta_prime, 1 - 1e-15))
+        return [basic, advanced]
+
+    def _compose(self, parts) -> Optional[PrivacyParams]:
+        """The bound *reported* for the given spends: the smallest-epsilon
+        bound among those that fit the cap, else the smallest-epsilon bound
+        overall.  Preferring a fitting bound keeps ``spent()`` inside the
+        cap whenever any valid reading of the ledger is."""
+        bounds = self._bounds(parts)
+        if not bounds:
+            return None
+        fitting = [b for b in bounds if self._fits(b)]
+        return min(fitting or bounds, key=lambda b: (b.epsilon, b.delta))
 
     def _fits(self, total: PrivacyParams) -> bool:
         slack = 1.0 + CAP_RELATIVE_TOLERANCE
         return (total.epsilon <= self._cap.epsilon * slack
                 and total.delta <= self._cap.delta * slack)
+
+    def _admits(self, parts) -> bool:
+        """Whether the given spends fit the cap under *any* valid bound."""
+        return any(self._fits(bound) for bound in self._bounds(parts))
 
     # ------------------------------------------------------------------ #
     # The enforcing API
@@ -215,21 +233,20 @@ class BudgetedLedger:
         """Whether :meth:`charge` would currently admit ``params`` (racy by
         nature — only :meth:`charge` itself is an atomic admission)."""
         with self._lock:
-            candidate = self._compose(
+            return self._admits(
                 [e.params for e in self._ledger.entries] + [params]
             )
-            return self._fits(candidate)
 
     def charge(self, mechanism: str, params: PrivacyParams,
-               note: str = "") -> PrivacyParams:
+               note: str = "") -> LedgerEntry:
         """Atomically admit-and-record one spend, or refuse it.
 
         Composes the would-be total over the admitted entries plus
-        ``params``; if it fits the cap the entry is recorded and the new
-        composed total returned, otherwise nothing is recorded and
-        :class:`BudgetExhaustedError` is raised.  The check and the record
-        happen under one lock, so concurrent tenant threads can never
-        jointly overshoot the cap.
+        ``params``; if *either* valid bound fits the cap the entry is
+        recorded and returned (the caller's receipt for :meth:`rollback`),
+        otherwise nothing is recorded and :class:`BudgetExhaustedError` is
+        raised.  The check and the record happen under one lock, so
+        concurrent tenant threads can never jointly overshoot the cap.
         """
         if not isinstance(params, PrivacyParams):
             raise TypeError(
@@ -237,23 +254,36 @@ class BudgetedLedger:
             )
         with self._lock:
             prior = [e.params for e in self._ledger.entries]
-            candidate = self._compose(prior + [params])
-            if not self._fits(candidate):
+            if not self._admits(prior + [params]):
                 self._refused += 1
                 raise BudgetExhaustedError(self._tenant, params,
                                            self._compose(prior), self._cap)
-            self._ledger.record(mechanism, params, note=note)
-            return candidate
+            return self._ledger.record(mechanism, params, note=note)
 
-    def rollback(self) -> None:
-        """Refund the most recently admitted charge.
+    def rollback(self, entry: Optional[LedgerEntry] = None) -> None:
+        """Refund one admitted charge.
 
         Only for a charge whose query provably never ran — the service uses
         it when admission succeeded but the bounded request queue refused
         the enqueue, so no mechanism ever saw the data.
+
+        Parameters
+        ----------
+        entry:
+            The receipt :meth:`charge` returned for the charge to refund.
+            With a receipt the refund targets exactly that entry, which is
+            the only correct form under concurrency: two threads that each
+            charge and then roll back must each refund their *own* spend,
+            never a neighbour's larger one (which would under-record a
+            query that actually runs).  Without a receipt the most recently
+            admitted charge is popped — acceptable only when the caller
+            knows no other thread charged in between.
         """
         with self._lock:
-            self._ledger.pop()
+            if entry is None:
+                self._ledger.pop()
+            else:
+                self._ledger.remove(entry)
 
     def stats(self) -> dict:
         """Spend / remaining / cap / counters, as one JSON-friendly dict."""

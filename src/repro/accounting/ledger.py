@@ -60,19 +60,33 @@ class PrivacyLedger:
         with self._lock:
             return list(self._entries)
 
-    def record(self, mechanism: str, params: PrivacyParams, note: str = "") -> None:
-        """Record one sub-mechanism invocation."""
+    def record(self, mechanism: str, params: PrivacyParams, note: str = "") -> LedgerEntry:
+        """Record one sub-mechanism invocation and return its entry (the
+        caller's receipt, usable with :meth:`remove`)."""
         entry = LedgerEntry(mechanism=mechanism, params=params, note=note)
         with self._lock:
             self._entries.append(entry)
+        return entry
 
     def pop(self) -> Optional[LedgerEntry]:
         """Remove and return the most recently recorded entry (``None`` when
-        the ledger is empty).  :class:`~repro.accounting.budget.BudgetedLedger`
-        uses this to roll back an admitted charge whose request could not be
-        enqueued after all."""
+        the ledger is empty).  Only meaningful when the caller knows no other
+        thread recorded in between — concurrent rollers-back should use
+        :meth:`remove` with the receipt from :meth:`record` instead."""
         with self._lock:
             return self._entries.pop() if self._entries else None
+
+    def remove(self, entry: LedgerEntry) -> bool:
+        """Remove exactly ``entry`` (matched by identity, not equality — two
+        equal-valued charges are distinct spends) and report whether it was
+        present.  This is the rollback primitive that stays correct under
+        concurrency: it never touches an entry another thread recorded."""
+        with self._lock:
+            for index, candidate in enumerate(self._entries):
+                if candidate is entry:
+                    del self._entries[index]
+                    return True
+        return False
 
     def total_basic(self) -> Optional[PrivacyParams]:
         """The basic-composition total of all recorded spends."""

@@ -84,6 +84,14 @@ class ServiceSaturatedError(RuntimeError):
         )
 
 
+class _WorkerStoppedError(RuntimeError):
+    """A submit raced :meth:`_DatasetWorker.stop`: the dataset was
+    unregistered (or the service closed) between the worker lookup and the
+    enqueue.  Internal — the service translates it into the same ``KeyError``
+    an up-front missing-dataset lookup raises, after rolling the admission
+    charge back."""
+
+
 class _DatasetWorker:
     """One bounded FIFO queue + one executor thread for one dataset."""
 
@@ -94,15 +102,25 @@ class _DatasetWorker:
         self.queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
         self.executed = 0
         self.failed = 0
+        # Guards `stopped` against `submit`: once stop() flips it, no new
+        # job can land in the queue, so stop()'s drain is exhaustive — a job
+        # enqueued after the drain would never run and its handle would
+        # block its waiter forever.
+        self._state_lock = threading.Lock()
+        self.stopped = False
         self._thread = threading.Thread(
             target=self._run, daemon=True, name=f"repro-service-{name}"
         )
         self._thread.start()
 
     def submit(self, job: JobHandle, thunk: Callable[[], Any]) -> None:
-        """Enqueue without blocking; ``queue.Full`` propagates to the
-        service, which rolls the admission charge back."""
-        self.queue.put_nowait((job, thunk))
+        """Enqueue without blocking.  ``queue.Full`` (queue saturated) and
+        :class:`_WorkerStoppedError` (stop() already ran or is draining)
+        propagate to the service, which rolls the admission charge back."""
+        with self._state_lock:
+            if self.stopped:
+                raise _WorkerStoppedError(self.name)
+            self.queue.put_nowait((job, thunk))
 
     def _run(self) -> None:
         while True:
@@ -122,6 +140,10 @@ class _DatasetWorker:
 
     def stop(self) -> None:
         """Stop after the in-flight query; fail anything still queued."""
+        with self._state_lock:
+            self.stopped = True
+        # From here no submit can enqueue, so everything the drain below
+        # sees is everything that will ever exist.
         self.queue.put(self._SENTINEL)
         self._thread.join()
         # Whatever is still queued ran after the sentinel was consumed —
@@ -181,8 +203,19 @@ class ClusteringService:
         entry = self._registry.register(name, points, backend=backend,
                                         options=options)
         with self._lock:
-            self._workers[entry.name] = _DatasetWorker(entry.name,
-                                                       self._max_queue)
+            # Re-check under the lock close() sets _closed with: the early
+            # _check_open is advisory, and losing the race here would leak
+            # a live executor thread plus a backend close() never sees.
+            lost_close_race = self._closed
+            if not lost_close_race:
+                self._workers[entry.name] = _DatasetWorker(entry.name,
+                                                           self._max_queue)
+        if lost_close_race:
+            try:
+                self._registry.unregister(entry.name)
+            except KeyError:
+                pass  # close()'s close_all() already dropped (and closed) it
+            raise RuntimeError("the service is closed")
         return entry
 
     def unregister_dataset(self, name: str) -> None:
@@ -275,14 +308,22 @@ class ClusteringService:
         if worker is None:  # unregister raced the lookup
             raise KeyError(f"no dataset registered as {dataset!r}")
         thunk = self._build_thunk(entry, kind, params, kwargs)
-        ledger.charge(f"service:{kind}", params,
-                      note=f"dataset={dataset}")
+        receipt = ledger.charge(f"service:{kind}", params,
+                                note=f"dataset={dataset}")
         job = JobHandle(tenant=tenant, dataset=dataset, kind=kind)
         try:
             worker.submit(job, thunk)
         except queue.Full:
-            ledger.rollback()
+            # Roll back by receipt: another thread may have charged this
+            # tenant between our charge and here, so "pop the latest" could
+            # refund a *different* (possibly larger) spend and let the
+            # ledger under-record a query that actually runs.
+            ledger.rollback(receipt)
             raise ServiceSaturatedError(dataset, self._max_queue) from None
+        except _WorkerStoppedError:
+            # unregister/close raced the enqueue; the query never ran.
+            ledger.rollback(receipt)
+            raise KeyError(f"no dataset registered as {dataset!r}") from None
         return job
 
     def _build_thunk(self, entry: RegisteredDataset, kind: str,

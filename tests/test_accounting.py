@@ -263,6 +263,37 @@ class TestBudgetedLedger:
         assert budget.spent().epsilon == pytest.approx(0.5)
         assert budget.can_charge(PrivacyParams(0.5, 0.0))
 
+    def test_rollback_by_receipt_targets_own_charge(self):
+        # The concurrent-submit scenario: T1 charges e1, T2 charges e2
+        # (larger), then T1 rolls back.  A latest-entry pop would refund
+        # T2's larger spend and under-record a query that actually runs;
+        # the receipt form must refund exactly e1.
+        from repro.accounting import BudgetedLedger
+
+        budget = BudgetedLedger(PrivacyParams(1.0, 1e-6))
+        receipt_small = budget.charge("laplace", PrivacyParams(0.1, 0.0))
+        budget.charge("laplace", PrivacyParams(0.4, 0.0))
+        budget.rollback(receipt_small)
+        assert budget.spent().epsilon == pytest.approx(0.4)
+        assert budget.ledger.mechanisms() == ["laplace"]
+        assert budget.ledger.entries[0].params.epsilon == 0.4
+        # Refunding the same receipt twice is a no-op, not a second refund.
+        budget.rollback(receipt_small)
+        assert budget.spent().epsilon == pytest.approx(0.4)
+
+    def test_receipt_removal_is_by_identity_not_equality(self):
+        # Two equal-valued charges are distinct spends: rolling one back
+        # must leave the other recorded.
+        from repro.accounting import BudgetedLedger
+
+        budget = BudgetedLedger(PrivacyParams(1.0, 1e-6))
+        first = budget.charge("m", PrivacyParams(0.2, 0.0))
+        second = budget.charge("m", PrivacyParams(0.2, 0.0))
+        assert first == second and first is not second
+        budget.rollback(first)
+        assert len(budget) == 1
+        assert budget.ledger.entries[0] is second
+
     def test_advanced_admits_more_small_queries(self):
         from repro.accounting import BudgetedLedger, BudgetExhaustedError
 
@@ -287,6 +318,30 @@ class TestBudgetedLedger:
         # The admitted bound itself stays within the cap.
         assert advanced.spent().epsilon <= 1.0 * (1 + 1e-9)
         assert advanced.spent().delta <= 1e-4
+
+    def test_advanced_admits_when_only_basic_bound_fits(self):
+        # Past ~28 of these steps the advanced bound has the smaller
+        # epsilon, but its delta (sum + delta_prime) overruns the delta cap
+        # before the basic sums do.  Admission must try EITHER bound — a
+        # min-epsilon pre-selection would refuse charges the basic rule
+        # plainly admits (200 * 5e-7 == the delta cap exactly, 200 * 0.01
+        # well under the epsilon cap).
+        from repro.accounting import BudgetedLedger, BudgetExhaustedError
+
+        budget = BudgetedLedger(PrivacyParams(2.5, 1e-4),
+                                composition="advanced", delta_prime=1e-6)
+        step = PrivacyParams(0.01, 5e-7)
+        admitted = 0
+        try:
+            for _ in range(300):
+                budget.charge("m", step)
+                admitted += 1
+        except BudgetExhaustedError:
+            pass
+        assert admitted == 200
+        # The reported spend is a bound that actually fits the cap.
+        assert budget.spent().epsilon <= 2.5 * (1 + 1e-9)
+        assert budget.spent().delta <= 1e-4 * (1 + 1e-9)
 
     def test_constructor_validation(self):
         from repro.accounting import BudgetedLedger

@@ -501,6 +501,48 @@ class TestJobsAndLifecycle:
         finally:
             service_module._SOLVERS["good_radius"] = original
 
+    def test_submit_racing_unregister_rolls_back_and_raises(
+            self, cluster_points):
+        # submit() captures the worker reference before charging; if
+        # unregister_dataset() stops that worker in between, the enqueue
+        # must NOT land (a job enqueued after stop()'s drain would never
+        # run and its waiter would block forever) and the admission charge
+        # must be refunded.  Stopping the captured worker directly
+        # reproduces exactly the state the race leaves behind.
+        with ClusteringService() as service:
+            service.register_dataset("data", cluster_points, backend="dense")
+            service.create_tenant("t", PrivacyParams(1.0, 1e-6))
+            service._workers["data"].stop()
+            with pytest.raises(KeyError, match="no dataset"):
+                service.good_radius("t", "data", target=800,
+                                    params=PrivacyParams(0.5, 1e-8), rng=0)
+            # The query provably never ran, so it cost nothing.
+            assert service.tenant("t").spent() is None
+
+    @pytest.mark.parametrize("close_before_insert", [True, False],
+                             ids=["close-first", "insert-first"])
+    def test_register_racing_close_does_not_leak(self, cluster_points,
+                                                 close_before_insert):
+        # close() landing between register_dataset()'s advisory open-check
+        # and its worker creation must not leave behind a registered
+        # dataset, a live executor thread, or an unclosed backend.
+        service = ClusteringService()
+        real_register = service._registry.register
+
+        def racing_register(*args, **kwargs):
+            if close_before_insert:
+                service.close()
+                return real_register(*args, **kwargs)
+            entry = real_register(*args, **kwargs)
+            service.close()
+            return entry
+
+        service._registry.register = racing_register  # type: ignore
+        with pytest.raises(RuntimeError, match="closed"):
+            service.register_dataset("data", cluster_points, backend="dense")
+        assert service._workers == {}
+        assert service.datasets() == []
+
     def test_registry_validation(self, cluster_points):
         with ClusteringService() as service:
             service.register_dataset("data", cluster_points, backend="dense")
