@@ -30,7 +30,12 @@ walk, which stays ``O(n * block)`` at every target.  ``--json`` writes the
 plus one sharded ``good_center`` release recording wall time, collective
 round trips, speculation hit rate, the active kernel mode and parent peak
 memory — to ``BENCH_backends.json`` (CI uploads it as an artifact, so the
-numbers accumulate a history across commits).
+numbers accumulate a history across commits).  ``--sample-aggregate``
+appends a Section-6 workload to that trajectory: the same private
+sample-and-aggregate mean release timed on the serial parent-side path and
+on the pipelined path (every block one asynchronous ``masked_sum`` query
+plan over a sharded backend), parity-asserted, with both wall times and the
+speedup.
 """
 
 from __future__ import annotations
@@ -652,6 +657,104 @@ def bench_json_service(n: int, rng_seed: int, workers=None,
     }
 
 
+def bench_json_sample_aggregate(n: int, rng_seed: int, workers=None) -> dict:
+    """The ``--sample-aggregate`` column: Algorithm SA, serial vs pipelined.
+
+    Times the same private mean-estimation release twice — once on the
+    serial parent-side seed path (materialise the sub-sample, evaluate every
+    block in-parent) and once with every block compiled into its own
+    ``masked_sum`` :class:`~repro.neighbors.QueryPlan` and submitted
+    up-front over a 2-worker sharded backend.  The releases (and the raw
+    block means) are asserted bitwise identical, so the row is pure
+    throughput: wall seconds per mode, the speedup, and the plan/round-trip
+    accounting of the pipelined run.
+
+    The workload is the regime the pipelining targets: wide rows (the
+    per-block exact column sums dominate) and blocks large enough that one
+    plan is a meaningful unit of work.  The aggregation step uses the
+    GUPT-style noisy-average aggregator (dimension-robust and a few
+    milliseconds, so the row isolates the block-evaluation stage both paths
+    share the aggregator on).
+    """
+    from repro.neighbors import QueryPlan
+    from repro.sample_aggregate import private_mean_estimator
+    from repro.sample_aggregate.aggregators import noisy_average_aggregator
+
+    dimension = 512
+    num_blocks = 8
+    num_shards = 32
+    rounds = 3
+    block_size = n // num_blocks
+    rng = np.random.default_rng(rng_seed)
+    data = rng.normal(0.5, 0.05, size=(n, dimension))
+    params = PrivacyParams(32.0, 1e-5)
+
+    def release(backend=None):
+        # Fresh same-seed generators per call: both modes draw identical
+        # block indices and aggregation noise, so the releases must match
+        # bitwise (the masked-sum block means are partition-independent).
+        aggregator = noisy_average_aggregator(
+            clip_radius=1.0, center=np.full(dimension, 0.5))
+        return private_mean_estimator(
+            data, block_size, params, rng=rng_seed, alpha=0.8,
+            subsample_fraction=1.0, aggregator=aggregator,
+            collect_diagnostics=True, backend=backend)
+
+    backend = BACKENDS["sharded"](data, num_workers=workers,
+                                  num_shards=num_shards)
+    try:
+        # Warm the pool + shared memory with one tiny plan (radius_counts
+        # would be an O(n^2) all-pairs sweep at this n).
+        warm = QueryPlan()
+        warm.masked_sum(backend.view(), np.arange(4))
+        backend.submit(warm).result()
+        warm_stats = backend.pool_stats()
+        # Interleave the two modes and keep each one's best round, so a
+        # shared-host slowdown mid-bench cannot bias the comparison either
+        # way (noise only ever adds time; the minimum is the clean run).
+        serial_walls = []
+        pipelined_walls = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            serial = release()
+            serial_walls.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            pipelined = release(backend=backend)
+            pipelined_walls.append(time.perf_counter() - start)
+        stats = backend.pool_stats()
+    finally:
+        backend.close()
+
+    assert np.array_equal(serial.aggregate_values,
+                          pipelined.aggregate_values), \
+        "pipelined block means diverged from the serial path"
+    assert serial.found == pipelined.found and np.array_equal(
+        np.asarray(serial.point), np.asarray(pipelined.point)), \
+        "pipelined release diverged from the serial path"
+    serial_wall = min(serial_walls)
+    wall = min(pipelined_walls)
+    timed_runs = rounds
+    return {
+        "bench": "sample_aggregate",
+        "n": n,
+        "d": dimension,
+        "backend": "sharded",
+        "num_shards": num_shards,
+        "blocks": num_blocks,
+        "block_size": block_size,
+        "found": bool(pipelined.found),
+        "serial_wall_seconds": serial_wall,
+        "wall_seconds": wall,
+        "speedup": serial_wall / wall,
+        "plans": int(stats["plans"] - warm_stats["plans"]) // timed_runs,
+        "round_trips": int(stats["fanouts"]
+                           - warm_stats["fanouts"]) // timed_runs,
+        "kernel_mode": stats["kernel_mode"],
+        "speculation": speculation_summary(stats),
+        "parent_peak_rss_mib": parent_peak_rss_mib(),
+    }
+
+
 def run_json(args) -> None:
     """``--json``: write the persisted benchmark trajectory and print a recap."""
     configs = []
@@ -676,6 +779,14 @@ def run_json(args) -> None:
         print(f"running service throughput at n={service_n}, d=16, "
               f"2 concurrent tenants ...", flush=True)
         configs.append(bench_json_service(service_n, args.rng, args.workers))
+    if args.sample_aggregate:
+        # Uncapped on purpose: the pipelined SA path exists to reach sizes
+        # the parent-side path cannot, so the row is only meaningful at the
+        # full n (default 100k, d=512 — the wide-row regime).
+        print(f"running sample-and-aggregate (serial vs pipelined) at "
+              f"n={args.sample_aggregate}, d=512 ...", flush=True)
+        configs.append(bench_json_sample_aggregate(args.sample_aggregate,
+                                                   args.rng, args.workers))
     payload = {
         "schema": 1,
         "generated_by": "benchmarks/bench_backends.py --json",
@@ -698,6 +809,13 @@ def run_json(args) -> None:
                   f"{config['wall_seconds']:.3f}s for {config['queries']} "
                   f"queries across {config['tenants']} tenants "
                   f"({config['queries_per_second']:.2f} q/s, "
+                  f"{config['kernel_mode']})")
+        elif config["bench"] == "sample_aggregate":
+            print(f"  sample_aggregate     n={config['n']:>7}: "
+                  f"serial {config['serial_wall_seconds']:.3f}s -> "
+                  f"pipelined {config['wall_seconds']:.3f}s "
+                  f"({config['speedup']:.2f}x, {config['blocks']} blocks, "
+                  f"{config['round_trips']} round trips, "
                   f"{config['kernel_mode']})")
         else:
             rate = config["speculation"]["hit_rate"]
@@ -764,6 +882,15 @@ def main() -> None:
                              "tenants, good_radius queries against one "
                              "resident sharded dataset), appending a "
                              "service_throughput column with queries/s")
+    parser.add_argument("--sample-aggregate", nargs="?", const=100000,
+                        default=None, type=int, metavar="N",
+                        help="with --json: also run the sample-and-"
+                             "aggregate release at N rows (default 100000, "
+                             "d=512) on the serial parent-side path and "
+                             "the pipelined per-block query-plan path "
+                             "(parity-asserted), appending a "
+                             "sample_aggregate column with both wall times "
+                             "and the speedup")
     parser.add_argument("--rng", type=int, default=0)
     args = parser.parse_args()
     if args.sizes is None:

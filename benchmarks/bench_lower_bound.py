@@ -1,12 +1,50 @@
-"""Benchmark E7 — the IntPoint reduction across domain sizes (Section 5)."""
+"""Benchmark E7 — the IntPoint reduction across domain sizes (Section 5).
 
+``--backend``/``--workers`` thread the whole sweep through a single
+long-lived :class:`~repro.experiments.harness.PipelinedRuns` pool, e.g.::
+
+    pytest benchmarks/bench_lower_bound.py --backend sharded --workers 2
+
+The 2-worker smoke below asserts the pipelined sweep reproduces the serial
+rows exactly (timing columns aside) — the reduction's releases are
+backend-independent by construction.
+"""
+
+from repro.experiments.harness import PipelinedRuns
 from repro.experiments.lower_bound import run_lower_bound
 
 
-def test_interior_point_reduction(benchmark, report):
-    rows = report(benchmark, "Interior-point reduction", run_lower_bound,
-                  domain_sizes=(2 ** 8, 2 ** 16, 2 ** 32), m=600,
+def test_interior_point_reduction(benchmark, report, backend_choice,
+                                  backend_options):
+    name, _ = backend_choice
+    kwargs = dict(domain_sizes=(2 ** 8, 2 ** 16, 2 ** 32), m=600,
                   epsilon=4.0, repetitions=3, rng=0)
+    if name is None:
+        rows = report(benchmark, "Interior-point reduction",
+                      run_lower_bound, **kwargs)
+    else:
+        with PipelinedRuns(name, backend_options) as runs:
+            rows = report(benchmark, f"Interior-point reduction ({name})",
+                          run_lower_bound, runs=runs, **kwargs)
     assert len(rows) == 3
     # The theoretical sample-complexity lower bound grows with the domain.
     assert rows[-1]["theory_min_samples"] >= rows[0]["theory_min_samples"]
+
+
+def test_pipelined_sweep_row_parity(backend_choice):
+    """2-worker smoke: a sharded sweep matches the serial rows exactly."""
+    _, workers = backend_choice
+    kwargs = dict(domain_sizes=(2 ** 8, 2 ** 16), m=200, epsilon=4.0,
+                  repetitions=2, rng=0)
+
+    serial = run_lower_bound(**kwargs)
+    options = {"num_workers": 2 if workers is None else workers,
+               "num_shards": 4}
+    with PipelinedRuns("sharded", options) as runs:
+        pipelined = run_lower_bound(runs=runs, **kwargs)
+
+    def strip_timing(rows):
+        return [{key: value for key, value in row.items()
+                 if "seconds" not in key} for row in rows]
+
+    assert strip_timing(serial) == strip_timing(pipelined)

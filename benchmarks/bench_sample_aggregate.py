@@ -1,12 +1,55 @@
-"""Benchmark E6 — sample & aggregate: 1-cluster vs noisy-average aggregator."""
+"""Benchmark E6 — sample & aggregate: 1-cluster vs noisy-average aggregator.
+
+``--backend`` forwards a neighbor-backend name into the experiment (it
+accelerates the default 1-cluster aggregation; release-neutral).  The
+2-worker smoke below runs the plan-capable mean estimator once serially and
+once with every block compiled into an asynchronous ``masked_sum`` query
+plan over a sharded pool, and asserts the two releases are bitwise
+identical.
+"""
+
+import numpy as np
 
 from repro.experiments.sample_aggregate import run_sample_aggregate
 
 
-def test_sample_aggregate_aggregators(benchmark, report):
+def test_sample_aggregate_aggregators(benchmark, report, backend_choice):
+    name, _ = backend_choice
+    kwargs = dict(secondary_weights=(0.0, 0.2, 0.4), rng=0)
+    if name is not None:
+        kwargs["backend"] = name
     rows = report(benchmark, "Sample & aggregate (GMM dominant mean)",
-                  run_sample_aggregate, secondary_weights=(0.0, 0.2, 0.4),
-                  rng=0)
+                  run_sample_aggregate, **kwargs)
     assert len(rows) == 6
     ours = [row for row in rows if row["method"] == "one_cluster_aggregator"]
     assert any(row["found"] for row in ours)
+
+
+def test_pipelined_block_plans_release_parity(backend_choice):
+    """2-worker smoke: pipelined block plans move time, never the release."""
+    from repro.accounting.params import PrivacyParams
+    from repro.neighbors import BACKENDS
+    from repro.sample_aggregate import private_mean_estimator
+
+    _, workers = backend_choice
+    rng = np.random.default_rng(0)
+    data = rng.normal(loc=[0.4, 0.6], scale=0.05, size=(6000, 2))
+    params = PrivacyParams(12.0, 1e-4)
+    kwargs = dict(alpha=0.8, subsample_fraction=1.0 / 3.0,
+                  collect_diagnostics=True)
+
+    serial = private_mean_estimator(data, block_size=10, params=params,
+                                    rng=1, **kwargs)
+    backend = BACKENDS["sharded"](
+        data, num_workers=2 if workers is None else workers, num_shards=4)
+    try:
+        pipelined = private_mean_estimator(data, block_size=10, params=params,
+                                           rng=1, backend=backend, **kwargs)
+    finally:
+        backend.close()
+
+    assert np.array_equal(serial.aggregate_values, pipelined.aggregate_values)
+    assert serial.found == pipelined.found
+    assert serial.found
+    assert np.array_equal(np.asarray(serial.point),
+                          np.asarray(pipelined.point))

@@ -7,6 +7,7 @@ rows plus a ``format_table`` helper, so the pytest-benchmark targets under
 
 from repro.experiments.harness import (
     EvaluationRecord,
+    PipelinedRuns,
     evaluate_result,
     format_table,
 )
@@ -24,6 +25,7 @@ from repro.experiments.figures import run_figure_configs
 
 __all__ = [
     "EvaluationRecord",
+    "PipelinedRuns",
     "evaluate_result",
     "format_table",
     "run_table1",

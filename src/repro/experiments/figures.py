@@ -16,7 +16,7 @@ illustrate*:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.datasets.adversarial import (
     figure1_cross_configuration,
     figure2_interval_configuration,
 )
+from repro.experiments.harness import PipelinedRuns
 from repro.geometry.boxes import AxisIntervalPartition
 from repro.neighbors import BackendLike
 from repro.utils.rng import as_generator, spawn_generators
@@ -48,22 +49,33 @@ def _naive_axiswise_box(points: np.ndarray, interval_length: float) -> np.ndarra
 
 def run_figure_configs(epsilon: float = 2.0, delta: float = 1e-6,
                        rng=None,
-                       backend: BackendLike = "auto") -> List[Dict[str, object]]:
+                       backend: BackendLike = "auto",
+                       runs: Optional[PipelinedRuns] = None) -> List[Dict[str, object]]:
     """Verify the Figure-1 and Figure-2 phenomena.
 
-    ``backend`` is forwarded to the GoodCenter run (release-neutral)."""
+    ``backend`` is forwarded to the GoodCenter run (release-neutral); a
+    shared :class:`~repro.experiments.harness.PipelinedRuns` resolves the
+    cross dataset's backend once and keeps it alive across calls."""
     generator = as_generator(rng)
     data_rng, center_rng = spawn_generators(generator, 2)
     rows: List[Dict[str, object]] = []
+    owns_runs = runs is None
+    if runs is None:
+        runs = PipelinedRuns(backend)
 
     # Figure 1: naive per-axis selection vs GoodCenter's joint box.
     cross = figure1_cross_configuration(points_per_arm=400, rng=data_rng)
     interval_length = 0.1
     naive_mask = _naive_axiswise_box(cross, interval_length)
     target = 300
-    result = good_center(cross, radius=0.05, target=target,
-                         params=PrivacyParams(epsilon, delta), rng=center_rng,
-                         backend=backend)
+    try:
+        result = good_center(cross, radius=0.05, target=target,
+                             params=PrivacyParams(epsilon, delta),
+                             rng=center_rng,
+                             backend=runs.backend_for(cross))
+    finally:
+        if owns_runs:
+            runs.close()
     rows.append({
         "figure": "F1", "n": cross.shape[0],
         "naive_box_count": int(np.count_nonzero(naive_mask)),

@@ -26,7 +26,13 @@ import numpy as np
 
 from repro.baselines.nonprivate import nonprivate_one_cluster
 from repro.core.types import OneClusterResult
-from repro.neighbors import BackendLike, NeighborBackend, PlanFuture, QueryPlan
+from repro.neighbors import (
+    BackendLike,
+    NeighborBackend,
+    PlanFuture,
+    QueryPlan,
+    resolve_backend,
+)
 
 
 @dataclass(frozen=True)
@@ -70,15 +76,28 @@ class EvaluationRecord:
         return asdict(self)
 
 
+def comparison_ball(result: OneClusterResult, reference_radius: float):
+    """The ball whose coverage defines the additive-loss proxy: the released
+    centre at twice the reference radius."""
+    from repro.geometry.balls import Ball
+
+    return Ball(center=np.asarray(result.ball.center, dtype=float),
+                radius=2.0 * reference_radius)
+
+
 def evaluate_result(method: str, points: np.ndarray, target: int,
                     result: OneClusterResult, seconds: float,
                     reference: Optional[OneClusterResult] = None,
-                    backend: BackendLike = None) -> EvaluationRecord:
+                    backend: BackendLike = None,
+                    captured: Optional[int] = None) -> EvaluationRecord:
     """Measure a solver's output against the non-private reference.
 
     ``backend`` selects the neighbor backend used to compute the reference
     solution when none is supplied (at large ``n`` the default dense
-    reference would itself be the bottleneck).
+    reference would itself be the bottleneck).  ``captured`` supplies the
+    :func:`comparison_ball` coverage count when the caller already holds it
+    (the pipelined runners count it through an asynchronous backend plan);
+    when omitted it is computed here.
     """
     if reference is None:
         reference = nonprivate_one_cluster(points, target, backend=backend)
@@ -91,16 +110,13 @@ def evaluate_result(method: str, points: np.ndarray, target: int,
             seconds=seconds,
         )
     effective = result.effective_radius(points, target=target)
-    captured_at_reference = result.ball.count(points) if result.ball.radius < float("inf") else 0
     # Additive loss: how many of the requested t points the ball at the
     # effective radius misses relative to a same-radius optimal ball; the
     # practical proxy used across experiments is the shortfall at 2x the
     # reference radius around the released centre.
-    from repro.geometry.balls import Ball
-
-    comparison_ball = Ball(center=result.ball.center, radius=2.0 * reference_radius)
-    captured = comparison_ball.count(points)
-    additive_loss = float(max(0, target - captured))
+    if captured is None:
+        captured = comparison_ball(result, reference_radius).count(points)
+    additive_loss = float(max(0, target - int(captured)))
     center_error = float(np.linalg.norm(
         np.asarray(result.ball.center, dtype=float)
         - np.asarray(reference.ball.center, dtype=float)
@@ -160,6 +176,109 @@ def coverage_counts_result(future: PlanFuture) -> List[int]:
     return [int(grid[0, 0]) for grid in future.result()]
 
 
+class PipelinedRuns:
+    """One long-lived backend per dataset across a whole experiment sweep.
+
+    The repeated-trial runners used to resolve (and tear down) a neighbor
+    backend inside every trial; this helper keeps each dataset's backend
+    alive for the duration of the sweep, hands it to the solvers, and lets
+    the runners submit per-trial evaluation plans (coverage counts, depth
+    scores, subsample aggregates) *asynchronously* — the next trial starts
+    while the previous trial's plans are still in flight on the workers.
+
+    Ordering guarantee: futures are resolved in submission order and every
+    plan's merge is shard-order deterministic, so the assembled rows — and
+    any summaries over them — are byte-identical to a serial run (timing
+    columns aside), at any worker count, on every backend.
+
+    Parameters
+    ----------
+    backend:
+        The backend selection (name, class, instance, or ``None`` →
+        ``"auto"``) resolved per dataset through
+        :func:`~repro.neighbors.resolve_backend`.
+    options:
+        Construction options forwarded to :func:`resolve_backend`.
+
+    Use as a context manager, or call :meth:`close` explicitly; backends the
+    helper constructed are closed, instances supplied by the caller are left
+    alone.
+    """
+
+    def __init__(self, backend: BackendLike = "auto",
+                 options: Optional[dict] = None) -> None:
+        self._backend = "auto" if backend is None else backend
+        self._options = options
+        self._engines: Dict[int, NeighborBackend] = {}
+        # Hold a reference to each keyed dataset so its id() stays unique for
+        # the helper's lifetime.
+        self._datasets: Dict[int, np.ndarray] = {}
+        self._closed = False
+
+    def __enter__(self) -> "PipelinedRuns":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def backend(self) -> BackendLike:
+        """The backend selection each dataset resolves."""
+        return self._backend
+
+    @property
+    def num_backends(self) -> int:
+        """How many distinct backends the sweep has resolved (accounting
+        tests use this to prove there are no silent per-trial rebuilds)."""
+        return len(self._engines)
+
+    def backend_for(self, points: np.ndarray) -> NeighborBackend:
+        """The long-lived backend indexing ``points`` (resolved on first
+        use, identity-cached afterwards)."""
+        if self._closed:
+            raise RuntimeError("PipelinedRuns is closed")
+        key = id(points)
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = resolve_backend(points, self._backend, self._options)
+            self._engines[key] = engine
+            self._datasets[key] = points
+        return engine
+
+    def submit_coverage(self, points: np.ndarray, balls) -> PlanFuture:
+        """Submit the coverage counts of ``balls`` over ``points`` through
+        the dataset's long-lived backend (see
+        :func:`submit_coverage_counts`)."""
+        return submit_coverage_counts(self.backend_for(points), balls)
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregated plan/fan-out counters over every backend that exposes
+        ``pool_stats()`` (plus ``backends``, the resolve count)."""
+        totals: Dict[str, int] = {"backends": len(self._engines)}
+        for engine in self._engines.values():
+            pool_stats = getattr(engine, "pool_stats", None)
+            if pool_stats is None:
+                continue
+            for key, value in pool_stats().items():
+                if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+                    totals[key] = totals.get(key, 0) + int(value)
+        return totals
+
+    def close(self) -> None:
+        """Close every backend the helper constructed (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        engines, self._engines = self._engines, {}
+        self._datasets = {}
+        for engine in engines.values():
+            if engine is self._backend:
+                continue
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
+
+
 def summarise(records: Iterable[EvaluationRecord]) -> Dict[str, float]:
     """Aggregate a set of repetition records into mean statistics."""
     records = list(records)
@@ -215,6 +334,8 @@ def format_table(rows: Sequence[Dict[str, object]],
 
 __all__ = [
     "EvaluationRecord",
+    "PipelinedRuns",
+    "comparison_ball",
     "coverage_counts_result",
     "evaluate_result",
     "format_table",

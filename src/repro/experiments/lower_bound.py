@@ -11,12 +11,12 @@ hence the 1-cluster problem) impossible over infinite domains.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.accounting.params import PrivacyParams
-from repro.experiments.harness import timed
+from repro.experiments.harness import PipelinedRuns, timed
 from repro.lowerbound.int_point import int_point
 from repro.lowerbound.interior_point import (
     interior_point_sample_complexity_lower_bound,
@@ -29,12 +29,17 @@ from repro.utils.rng import as_generator, spawn_generators
 def run_lower_bound(domain_sizes: Sequence[int] = (2 ** 8, 2 ** 16, 2 ** 32),
                     m: int = 600, epsilon: float = 2.0, delta: float = 1e-6,
                     repetitions: int = 3, rng=None,
-                    backend: BackendLike = "auto") -> List[Dict[str, object]]:
+                    backend: BackendLike = "auto",
+                    runs: Optional[PipelinedRuns] = None) -> List[Dict[str, object]]:
     """Run the IntPoint reduction over increasingly large domains.
 
     ``backend`` is forwarded to the underlying 1-cluster solver
     (release-neutral; ``"auto"`` keeps large-``m`` bench configs off the
-    dense paths)."""
+    dense paths).  When a :class:`~repro.experiments.harness.PipelinedRuns`
+    is supplied, each trial additionally routes its step-4 depth scores
+    through a backend query plan on a per-database engine managed by the
+    helper (bitwise-identical value, see
+    :func:`~repro.lowerbound.int_point.int_point`)."""
     generator = as_generator(rng)
     params = PrivacyParams(epsilon, delta)
     rows: List[Dict[str, object]] = []
@@ -50,9 +55,12 @@ def run_lower_bound(domain_sizes: Sequence[int] = (2 ** 8, 2 ** 16, 2 ** 32),
             values = center + data_generator.integers(-domain_size // 8,
                                                       domain_size // 8, size=m)
             values = np.clip(values, 0, domain_size - 1).astype(float)
+            trial_backend: BackendLike = backend
+            if runs is not None:
+                trial_backend = runs.backend_for(values.reshape(-1, 1))
             result, seconds = timed(int_point, values, cluster_size=m // 2,
                                     params=params, rng=solver_rng,
-                                    backend=backend)
+                                    backend=trial_backend)
             total_seconds += seconds
             if is_interior_point(result.value, values):
                 successes += 1

@@ -17,6 +17,13 @@ threshold release achieve ``w ~ 1`` but are restricted (runtime / d=1);
 private aggregation only works when the cluster is a majority and pays a
 ``sqrt(d)``-flavoured radius factor; this work handles minority clusters in
 any dimension with a moderate radius factor.
+
+The runner is *pipelined*: each repetition's dataset gets one long-lived
+backend (shared by the reference, the solvers, and the evaluation), every
+method's comparison-ball coverage count is submitted as an asynchronous
+query plan the moment the method finishes, and the rows are assembled only
+after the sweep — in submission order, so the output is byte-identical to a
+serial run at any worker count.
 """
 
 from __future__ import annotations
@@ -32,7 +39,14 @@ from repro.baselines.private_aggregation import private_aggregation_cluster
 from repro.baselines.threshold_release import threshold_release_cluster_1d
 from repro.core.one_cluster import one_cluster
 from repro.datasets.synthetic import planted_cluster
-from repro.experiments.harness import evaluate_result, timed
+from repro.experiments.harness import (
+    PipelinedRuns,
+    comparison_ball,
+    coverage_counts_result,
+    evaluate_result,
+    submit_coverage_counts,
+    timed,
+)
 from repro.geometry.grid import GridDomain
 from repro.neighbors import BackendLike
 from repro.utils.rng import as_generator, spawn_generators
@@ -42,7 +56,8 @@ def run_table1(n: int = 2000, dimension: int = 2, cluster_fraction: float = 0.3,
                epsilon: float = 2.0, delta: float = 1e-6,
                cluster_radius: float = 0.05, grid_side: int = 33,
                repetitions: int = 1, rng=None,
-               backend: BackendLike = "auto") -> List[Dict[str, object]]:
+               backend: BackendLike = "auto",
+               runs: Optional[PipelinedRuns] = None) -> List[Dict[str, object]]:
     """Run every Table-1 method on the same planted-cluster instance.
 
     Parameters
@@ -65,51 +80,89 @@ def run_table1(n: int = 2000, dimension: int = 2, cluster_fraction: float = 0.3,
         work, the exponential-mechanism baseline, and the non-private
         reference); ``"auto"`` routes large bench configs away from the
         unconditional dense structures (release-neutral).
+    runs:
+        An existing :class:`~repro.experiments.harness.PipelinedRuns` to
+        share backends with (e.g. across several experiment calls); when
+        omitted one is created for this call and closed afterwards.
     """
     generator = as_generator(rng)
     params = PrivacyParams(epsilon, delta)
-    rows: List[Dict[str, object]] = []
-    for repetition in range(repetitions):
-        data_rng, *method_rngs = spawn_generators(generator, 5)
-        data = planted_cluster(n=n, d=dimension,
-                               cluster_size=int(cluster_fraction * n),
-                               cluster_radius=cluster_radius,
-                               center=[0.28] * dimension, rng=data_rng)
-        target = int(0.8 * cluster_fraction * n)
-        reference = nonprivate_one_cluster(data.points, target,
-                                           backend=backend)
+    owns_runs = runs is None
+    if runs is None:
+        runs = PipelinedRuns(backend)
+    # One entry per eventual row, in row order:
+    # (meta, method, result, seconds, reference, points, coverage future).
+    pending: List[tuple] = []
+    try:
+        for repetition in range(repetitions):
+            data_rng, *method_rngs = spawn_generators(generator, 5)
+            data = planted_cluster(n=n, d=dimension,
+                                   cluster_size=int(cluster_fraction * n),
+                                   cluster_radius=cluster_radius,
+                                   center=[0.28] * dimension, rng=data_rng)
+            target = int(0.8 * cluster_fraction * n)
+            engine = runs.backend_for(data.points)
+            reference = nonprivate_one_cluster(data.points, target,
+                                               backend=engine)
+            reference_radius = max(reference.ball.radius, 1e-12)
 
-        def add_row(method: str, result, seconds: float) -> None:
-            record = evaluate_result(method, data.points, target, result,
-                                     seconds, reference=reference)
-            row = {"repetition": repetition, "n": n, "d": dimension,
-                   "t": target, "epsilon": epsilon}
+            def add_row(method: str, result, seconds: float,
+                        engine=engine, reference=reference,
+                        reference_radius=reference_radius,
+                        points=data.points, target=target,
+                        repetition=repetition) -> None:
+                # Kick the coverage count off asynchronously; it merges while
+                # the next method (or repetition) runs.
+                future = None
+                if result.found:
+                    future = submit_coverage_counts(
+                        engine, [comparison_ball(result, reference_radius)]
+                    )
+                meta = {"repetition": repetition, "n": n, "d": dimension,
+                        "t": target, "epsilon": epsilon}
+                pending.append((meta, method, result, seconds, reference,
+                                points, target, future))
+
+            add_row("nonprivate", reference, 0.0)
+
+            result, seconds = timed(one_cluster, data.points, target, params,
+                                    rng=method_rngs[0], backend=engine)
+            add_row("this_work", result, seconds)
+
+            result, seconds = timed(private_aggregation_cluster, data.points,
+                                    target, params, rng=method_rngs[1])
+            add_row("private_aggregation", result, seconds)
+
+            if dimension <= 2:
+                domain = GridDomain.unit_cube(dimension, grid_side)
+                snapped = domain.snap(np.clip(data.points, 0.0, 1.0))
+                result, seconds = timed(exponential_mechanism_cluster, snapped,
+                                        target, params, domain,
+                                        rng=method_rngs[2],
+                                        backend=runs.backend_for(snapped))
+                add_row("exponential_mechanism", result, seconds)
+
+            if dimension == 1:
+                result, seconds = timed(threshold_release_cluster_1d,
+                                        data.points, target, params,
+                                        rng=method_rngs[3])
+                add_row("threshold_release", result, seconds)
+
+        # Resolve in submission order: deterministic merges make the rows
+        # byte-identical to a serial run regardless of worker count.
+        rows: List[Dict[str, object]] = []
+        for meta, method, result, seconds, reference, points, target, future in pending:
+            captured = (coverage_counts_result(future)[0]
+                        if future is not None else None)
+            record = evaluate_result(method, points, target, result, seconds,
+                                     reference=reference, captured=captured)
+            row = dict(meta)
             row.update(record.as_dict())
             rows.append(row)
-
-        add_row("nonprivate", reference, 0.0)
-
-        result, seconds = timed(one_cluster, data.points, target, params,
-                                rng=method_rngs[0], backend=backend)
-        add_row("this_work", result, seconds)
-
-        result, seconds = timed(private_aggregation_cluster, data.points, target,
-                                params, rng=method_rngs[1])
-        add_row("private_aggregation", result, seconds)
-
-        if dimension <= 2:
-            domain = GridDomain.unit_cube(dimension, grid_side)
-            snapped = domain.snap(np.clip(data.points, 0.0, 1.0))
-            result, seconds = timed(exponential_mechanism_cluster, snapped, target,
-                                    params, domain, rng=method_rngs[2],
-                                    backend=backend)
-            add_row("exponential_mechanism", result, seconds)
-
-        if dimension == 1:
-            result, seconds = timed(threshold_release_cluster_1d, data.points,
-                                    target, params, rng=method_rngs[3])
-            add_row("threshold_release", result, seconds)
-    return rows
+        return rows
+    finally:
+        if owns_runs:
+            runs.close()
 
 
 __all__ = ["run_table1"]

@@ -3,6 +3,7 @@
 from repro.lowerbound.interior_point import (
     is_interior_point,
     nonprivate_interior_point,
+    interior_depths,
     interior_point_sample_complexity_lower_bound,
 )
 from repro.lowerbound.int_point import int_point, IntPointResult, int_point_sample_size
@@ -10,6 +11,7 @@ from repro.lowerbound.int_point import int_point, IntPointResult, int_point_samp
 __all__ = [
     "is_interior_point",
     "nonprivate_interior_point",
+    "interior_depths",
     "interior_point_sample_complexity_lower_bound",
     "int_point",
     "IntPointResult",

@@ -26,7 +26,9 @@ import numpy as np
 from repro.accounting.params import PrivacyParams
 from repro.core.one_cluster import one_cluster
 from repro.core.types import OneClusterResult
-from repro.quasiconcave.quality import ArrayQuality
+from repro.lowerbound.interior_point import interior_depths
+from repro.neighbors import BackendLike, NeighborBackend, resolve_backend
+from repro.quasiconcave.quality import ArrayQuality, PlanQuality
 from repro.quasiconcave.rec_concave import rec_concave
 from repro.utils.iterated_log import log_star
 from repro.utils.rng import RngLike, spawn_generators
@@ -61,7 +63,8 @@ def int_point_sample_size(n: int, w: float, params: PrivacyParams,
 def int_point(database, cluster_size: int, params: PrivacyParams,
               approximation_factor: float = 4.0, beta: float = 0.1,
               cluster_solver: Optional[Callable[..., OneClusterResult]] = None,
-              rng: RngLike = None, **solver_kwargs) -> IntPointResult:
+              backend: BackendLike = None, rng: RngLike = None,
+              **solver_kwargs) -> IntPointResult:
     """Solve the interior point problem via the 1-cluster reduction.
 
     Parameters
@@ -86,6 +89,17 @@ def int_point(database, cluster_size: int, params: PrivacyParams,
         :func:`~repro.core.one_cluster.one_cluster`.  Any callable with the
         same signature works, which is how experiments demonstrate the
         reduction against different solvers.
+    backend:
+        Optional neighbor backend for the final depth selection (step 4).  A
+        :class:`~repro.neighbors.NeighborBackend` *instance* — built over
+        ``database.reshape(-1, 1)`` — routes the depth-score evaluations
+        through one asynchronous ``depth_counts`` query plan
+        (:class:`~repro.quasiconcave.PlanQuality`); because the per-shard
+        counts are integers summed exactly, the released value is bitwise
+        identical to the parent-side path.  A backend *name or class* is
+        instead forwarded to the cluster solver (which resolves its own
+        backend over the middle entries), preserving the historical
+        ``solver_kwargs`` behaviour.
     rng:
         Seed or generator.
     solver_kwargs:
@@ -100,6 +114,15 @@ def int_point(database, cluster_size: int, params: PrivacyParams,
         raise ValueError("approximation_factor must be positive")
     if cluster_solver is None:
         cluster_solver = one_cluster
+    depth_backend = None
+    if backend is not None:
+        if isinstance(backend, NeighborBackend):
+            # Validate the instance against this database (as a column) and
+            # use it for the step-4 depth plan; the cluster solver runs on a
+            # different sub-database, so the instance is not forwarded.
+            depth_backend = resolve_backend(values.reshape(-1, 1), backend)
+        else:
+            solver_kwargs.setdefault("backend", backend)
     cluster_rng, select_rng = spawn_generators(rng, 2)
     half = params.part(0.5)
 
@@ -134,13 +157,20 @@ def int_point(database, cluster_size: int, params: PrivacyParams,
 
     # Step 4: choose among the endpoints with the depth quality
     # q(S, a) = min(#{x <= a}, #{x >= a}), which is sensitivity-1 and
-    # quasi-concave along the ordered endpoints.
-    depth_scores = np.array([
-        min(float(np.count_nonzero(values <= endpoint)),
-            float(np.count_nonzero(values >= endpoint)))
-        for endpoint in endpoints
-    ])
-    quality = ArrayQuality(depth_scores)
+    # quasi-concave along the ordered endpoints.  Both paths compute the same
+    # integer counts, so the released value does not depend on the transport.
+    if depth_backend is not None:
+        def compile_depths(plan, indices):
+            return plan.depth_counts(endpoints[indices])
+
+        def resolve_depths(results, token, indices):
+            counts = results[token]
+            return np.minimum(counts[:, 0], counts[:, 1]).astype(float)
+
+        quality = PlanQuality(depth_backend, endpoints.size,
+                              compile_depths, resolve_depths)
+    else:
+        quality = ArrayQuality(interior_depths(values, endpoints))
     promise = max(1.0, (m - cluster_size) / 2.0)
     selection = rec_concave(quality, promise=promise, alpha=0.5, params=half,
                             rng=select_rng)

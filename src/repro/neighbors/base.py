@@ -165,6 +165,36 @@ def _capped_profile(sorted_values: np.ndarray, rows: np.ndarray, n: int,
     return result
 
 
+def depth_count_pairs(values: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+    """``[#{v <= a}, #{v >= a}]`` for every threshold ``a``.
+
+    The single definition every depth-count path shares — the in-process
+    backends evaluate it over the whole first coordinate, the sharded
+    workers over their own shard's slice — so the per-shard integer
+    partials sum to exactly the whole-dataset counts at any shard topology
+    (exact integer comparisons, no floating-point accumulation).
+
+    Parameters
+    ----------
+    values:
+        ``(n,)`` data values (the first coordinate of the indexed points).
+    thresholds:
+        ``(m,)`` query thresholds.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(m, 2)`` ``int64``; column 0 counts ``v <= a``, column 1 counts
+        ``v >= a``.
+    """
+    ordered = np.sort(np.asarray(values, dtype=float))
+    thresholds = np.asarray(thresholds, dtype=float)
+    below = np.searchsorted(ordered, thresholds, side="right")
+    above = ordered.shape[0] - np.searchsorted(ordered, thresholds,
+                                               side="left")
+    return np.stack([below, above], axis=1).astype(np.int64)
+
+
 def first_occurrence_cells(labels: np.ndarray):
     """Unique labels with counts, ordered by first occurrence.
 
@@ -668,12 +698,14 @@ VIEW_PLAN_OPS = MASKED_PLAN_OPS | frozenset({
 })
 
 #: Whole-dataset plan operations answered by the backend itself.
-#: ``count_within_many`` decomposes into per-shard partials and joins the
-#: single fused round trip; ``capped_average_scores`` is a *coordinator*
-#: operation (its merge-walk / streaming evaluation runs its own internal
-#: fan-outs) carried in a plan so score batches ride the same submission and
-#: instrumentation path.
-BACKEND_PLAN_OPS = frozenset({"count_within_many", "capped_average_scores"})
+#: ``count_within_many`` and ``depth_counts`` decompose into per-shard
+#: partials and join the single fused round trip; ``capped_average_scores``
+#: is a *coordinator* operation (its merge-walk / streaming evaluation runs
+#: its own internal fan-outs) carried in a plan so score batches ride the
+#: same submission and instrumentation path.
+BACKEND_PLAN_OPS = frozenset({
+    "count_within_many", "capped_average_scores", "depth_counts",
+})
 
 
 @dataclass(frozen=True)
@@ -881,6 +913,16 @@ class QueryPlan:
         return self._append("capped_average_scores", None, None,
                             (radii, target, streaming))
 
+    def depth_counts(self, thresholds) -> int:
+        """Append a :meth:`NeighborBackend.depth_counts` query (the interior
+        point reduction's one-sided rank counts); returns its result slot.
+        Decomposes into per-shard integer partials, so it joins the plan's
+        single fused round trip."""
+        thresholds = np.atleast_1d(np.asarray(thresholds, dtype=float))
+        if thresholds.ndim != 1:
+            raise ValueError("thresholds must be a 1-d array")
+        return self._append("depth_counts", None, None, (thresholds,))
+
 
 class PlanFuture:
     """Handle for a submitted :class:`QueryPlan`.
@@ -1017,6 +1059,9 @@ class NeighborBackend(abc.ABC):
         if query.op == "count_within_many":
             centers, radii = query.args
             return self.count_within_many(centers, radii)
+        if query.op == "depth_counts":
+            (thresholds,) = query.args
+            return self.depth_counts(thresholds)
         if query.op == "capped_average_scores":
             radii, target, streaming = query.args
             return self.capped_average_scores(radii, target,
@@ -1138,6 +1183,32 @@ class NeighborBackend(abc.ABC):
         return np.stack([
             self.query_radius_counts(centers, float(radius)) for radius in radii
         ]) if radii.size else np.empty((0, centers.shape[0]), dtype=np.int64)
+
+    def depth_counts(self, thresholds) -> np.ndarray:
+        """One-sided rank counts of the first coordinate at each threshold.
+
+        For every threshold ``a`` returns ``[#{x : x_0 <= a},
+        #{x : x_0 >= a}]`` over the indexed points' first coordinate — the
+        two counts whose minimum is the *depth* quality
+        ``q(S, a) = min(#{x <= a}, #{x >= a})`` of the interior point
+        reduction (paper Algorithm 3, step 4; the backend's points are the
+        1-d database reshaped to ``(n, 1)`` there).  Counts are exact
+        integer comparisons, so every backend — and every shard topology,
+        by integer-sum merges — returns bitwise identical values.
+
+        Parameters
+        ----------
+        thresholds:
+            Scalar or ``(m,)`` array of query thresholds.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(m, 2)`` ``int64`` count pairs (column 0: ``<=``, column 1:
+            ``>=``).
+        """
+        thresholds = np.atleast_1d(np.asarray(thresholds, dtype=float))
+        return depth_count_pairs(self._points[:, 0], thresholds)
 
     def truncated_squared(self, k: int) -> np.ndarray:
         """Row-sorted ``(n, k)`` matrix of each point's ``k`` smallest
@@ -1319,5 +1390,6 @@ __all__ = [
     "STREAMING_MIN_POINTS",
     "STREAMING_TARGET_FRACTION",
     "VIEW_PLAN_OPS",
+    "depth_count_pairs",
     "first_occurrence_cells",
 ]

@@ -67,6 +67,7 @@ from repro.neighbors.base import (
     PlanFuture,
     ProjectedView,
     QueryPlan,
+    depth_count_pairs,
 )
 from repro import kernels as _kernels
 from repro.utils.exactsum import (
@@ -94,6 +95,7 @@ _TASK_DELAY: Optional[Tuple[str, int, float]] = None
 SHARD_TASK_METHODS = frozenset({
     "counts",
     "counts_many",
+    "depth_counts",
     "truncated",
     "histograms",
     "execute_plan",
@@ -224,6 +226,13 @@ class _ShardSet:
         return self.backend(shard).count_within_many(
             self._centers(centers), radii
         )
+
+    def depth_counts(self, shard: int, thresholds: np.ndarray) -> np.ndarray:
+        """This shard's ``(m, 2)`` one-sided rank-count partial (the shared
+        :func:`~repro.neighbors.base.depth_count_pairs` over the shard's
+        first coordinate; integer partials sum to the global counts)."""
+        low, high = self.bounds[shard]
+        return depth_count_pairs(self.points[low:high, 0], thresholds)
 
     def truncated(self, shard: int, k: int) -> np.ndarray:
         """Every dataset point's ``min(k, shard size)`` smallest squared
@@ -632,6 +641,9 @@ class _ShardSet:
             elif op == "count_within_many":
                 centers, radii = args
                 results.append(self.counts_many(shard, centers, radii))
+            elif op == "depth_counts":
+                (thresholds,) = args
+                results.append(self.depth_counts(shard, thresholds))
             else:
                 raise ValueError(f"unknown plan operation {op!r}")
         return results
@@ -1574,6 +1586,10 @@ class ShardedBackend(NeighborBackend):
                 merges.append((op, len(bundle), None))
                 bundle.append((op, None, None, (payload, radii)))
                 continue
+            if op == "depth_counts":
+                merges.append((op, len(bundle), None))
+                bundle.append((op, None, None, query.args))
+                continue
             view_slot = query.view_slot
             if op == "heaviest_cell_counts":
                 width, shifts = query.args
@@ -1626,6 +1642,8 @@ class ShardedBackend(NeighborBackend):
                 continue
             parts = [shard[bundle_index] for shard in shard_parts]
             if op == "count_within_many":
+                results.append(np.sum(parts, axis=0, dtype=np.int64))
+            elif op == "depth_counts":
                 results.append(np.sum(parts, axis=0, dtype=np.int64))
             elif op == "masked_count":
                 results.append(int(sum(parts)))

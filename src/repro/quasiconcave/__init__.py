@@ -15,7 +15,12 @@ quality promise.  This package provides:
   ``log |X|``-loss alternative.
 """
 
-from repro.quasiconcave.quality import QualityFunction, ArrayQuality, CallableQuality
+from repro.quasiconcave.quality import (
+    QualityFunction,
+    ArrayQuality,
+    CallableQuality,
+    PlanQuality,
+)
 from repro.quasiconcave.rec_concave import rec_concave, RecConcaveResult, rec_concave_promise
 from repro.quasiconcave.binary_search import noisy_binary_search, BinarySearchResult
 
@@ -23,6 +28,7 @@ __all__ = [
     "QualityFunction",
     "ArrayQuality",
     "CallableQuality",
+    "PlanQuality",
     "rec_concave",
     "RecConcaveResult",
     "rec_concave_promise",

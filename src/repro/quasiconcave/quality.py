@@ -12,7 +12,7 @@ amortise their per-call cost).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +33,17 @@ class QualityFunction:
         """Qualities of a batch of candidates (default: loop over
         :meth:`value`; override for vectorised evaluation)."""
         return np.array([self.value(int(index)) for index in indices], dtype=float)
+
+    def prefetch(self, indices: Sequence[int]) -> None:
+        """Hint that the given indices will be evaluated soon.
+
+        Purely a performance hook: implementations may start computing the
+        qualities asynchronously (``PlanQuality`` submits one backend
+        :class:`~repro.neighbors.QueryPlan` and overlaps the round trip with
+        the caller's other work), but the values eventually returned by
+        :meth:`value` / :meth:`values` are exactly what eager evaluation
+        would produce.  The default does nothing.
+        """
 
 
 class ArrayQuality(QualityFunction):
@@ -108,6 +119,121 @@ class CallableQuality(QualityFunction):
                     self._cache[key] = float(self._function(key))
         return np.array([self._cache[int(i)] for i in indices], dtype=float)
 
+    def prefetch(self, indices: Sequence[int]) -> None:
+        """Warm the memoisation cache (synchronously) for a batch of
+        indices; later :meth:`value` / :meth:`values` calls on them are
+        cache hits."""
+        self.values(np.asarray(indices, dtype=np.int64))
+
+
+class PlanQuality(QualityFunction):
+    """Quality function evaluated through backend :class:`QueryPlan`\\ s.
+
+    The bridge between the quasi-concave solvers and the
+    :class:`~repro.neighbors.NeighborBackend` layer: a batch of candidate
+    indices compiles into one query plan, and :meth:`prefetch` *submits*
+    that plan asynchronously — on a sharded/distributed backend the whole
+    batch is one round trip per shard, in flight while the caller keeps
+    working — with :meth:`values` resolving the future on first use.
+    Resolution order is submission order and every plan merge is
+    shard-order deterministic, so the returned qualities are bitwise what
+    eager per-index evaluation would produce; the solver's noise draws
+    never depend on how the evaluations were transported.
+
+    Parameters
+    ----------
+    backend:
+        The :class:`~repro.neighbors.NeighborBackend` the plans run on.
+    size:
+        The number of candidate solutions ``|F|``.
+    compile_batch:
+        ``compile_batch(plan, indices)``: appends the queries answering the
+        given ascending unique index batch to ``plan`` and returns a token
+        (typically the result slot) handed back to ``resolve_batch``.
+    resolve_batch:
+        ``resolve_batch(results, token, indices)``: maps the executed
+        plan's result list to the ``(len(indices),)`` float qualities of
+        the batch, in batch order.
+    """
+
+    def __init__(self, backend, size: int,
+                 compile_batch: Callable[..., Any],
+                 resolve_batch: Callable[..., np.ndarray]) -> None:
+        if size < 1:
+            raise ValueError(f"size must be at least 1, got {size}")
+        self._backend = backend
+        self._size = int(size)
+        self._compile_batch = compile_batch
+        self._resolve_batch = resolve_batch
+        self._cache: Dict[int, float] = {}
+        self._pending: List[Tuple[Any, Any, np.ndarray]] = []
+        self._in_flight: set = set()
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def backend(self):
+        """The backend the quality's plans run on."""
+        return self._backend
+
+    @property
+    def evaluations(self) -> int:
+        """How many distinct indices have been evaluated (resolved plans
+        only; for efficiency tests)."""
+        return len(self._cache)
+
+    def _check_indices(self, indices) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+        if indices.size and (int(indices.min()) < 0
+                             or int(indices.max()) >= self._size):
+            raise IndexError(f"indices must lie in [0, {self._size})")
+        return indices
+
+    def prefetch(self, indices: Sequence[int]) -> None:
+        indices = self._check_indices(indices)
+        missing = np.unique(indices)
+        missing = missing[[int(i) not in self._cache
+                           and int(i) not in self._in_flight
+                           for i in missing]]
+        if missing.size == 0:
+            return
+        from repro.neighbors import QueryPlan
+
+        plan = QueryPlan()
+        token = self._compile_batch(plan, missing)
+        future = self._backend.submit(plan)
+        self._pending.append((future, token, missing))
+        self._in_flight.update(int(i) for i in missing)
+
+    def _drain(self) -> None:
+        """Resolve every in-flight plan, in submission order."""
+        pending, self._pending = self._pending, []
+        for future, token, batch in pending:
+            scores = np.asarray(
+                self._resolve_batch(future.result(), token, batch),
+                dtype=float,
+            ).reshape(-1)
+            if scores.shape[0] != batch.shape[0]:
+                raise ValueError(
+                    f"resolve_batch returned {scores.shape[0]} qualities "
+                    f"for a batch of {batch.shape[0]} indices"
+                )
+            for key, val in zip(batch, scores):
+                self._cache[int(key)] = float(val)
+                self._in_flight.discard(int(key))
+
+    def value(self, index: int) -> float:
+        return float(self.values([index])[0])
+
+    def values(self, indices: Sequence[int]) -> np.ndarray:
+        indices = self._check_indices(indices)
+        if any(int(i) not in self._cache for i in np.unique(indices)):
+            self.prefetch(indices)
+            self._drain()
+        return np.array([self._cache[int(i)] for i in indices], dtype=float)
+
 
 def is_quasi_concave(scores, tolerance: float = 1e-9) -> bool:
     """Check whether a score array is quasi-concave.
@@ -129,4 +255,10 @@ def is_quasi_concave(scores, tolerance: float = 1e-9) -> bool:
     return bool(np.all(scores >= lower_envelope - tolerance))
 
 
-__all__ = ["QualityFunction", "ArrayQuality", "CallableQuality", "is_quasi_concave"]
+__all__ = [
+    "QualityFunction",
+    "ArrayQuality",
+    "CallableQuality",
+    "PlanQuality",
+    "is_quasi_concave",
+]

@@ -150,6 +150,11 @@ def rec_concave(quality: QualityFunction, promise: float, alpha: float,
         return RecConcaveResult(index=0, quality=value, chosen_length=1,
                                 num_evaluations=1)
 
+    # The length-1 pass below evaluates every index, so announcing the full
+    # range up-front changes nothing about *what* is evaluated — it only lets
+    # plan-backed qualities ship the whole batch in one backend round trip.
+    quality.prefetch(np.arange(size, dtype=np.int64))
+
     # ------------------------------------------------------------------ #
     # Step 1-2: derived quality over dyadic lengths, choose a length.
     # ------------------------------------------------------------------ #

@@ -2,6 +2,7 @@
 
 from repro.sample_aggregate.framework import (
     sample_and_aggregate,
+    plan_capable,
     StablePointResult,
     sa_minimum_database_size,
 )
@@ -11,6 +12,8 @@ from repro.sample_aggregate.aggregators import (
     noisy_average_aggregator,
 )
 from repro.sample_aggregate.applications import (
+    BlockMean,
+    component_assignment,
     private_mean_estimator,
     private_median_estimator,
     private_gmm_center_estimator,
@@ -18,8 +21,11 @@ from repro.sample_aggregate.applications import (
 
 __all__ = [
     "sample_and_aggregate",
+    "plan_capable",
     "StablePointResult",
     "sa_minimum_database_size",
+    "BlockMean",
+    "component_assignment",
     "empirical_stability",
     "StabilityEstimate",
     "one_cluster_aggregator",

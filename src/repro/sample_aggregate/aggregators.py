@@ -31,16 +31,24 @@ Aggregator = Callable[
 ]
 
 
-def one_cluster_aggregator(config: Optional[OneClusterConfig] = None) -> Aggregator:
+def one_cluster_aggregator(config: Optional[OneClusterConfig] = None,
+                           backend=None) -> Aggregator:
     """The paper's aggregator: run the 1-cluster solver on the sub-sample
-    outputs and return the released centre."""
+    outputs and return the released centre.
+
+    ``backend`` (a backend name or class, see
+    :func:`~repro.neighbors.resolve_backend`) is forwarded to the 1-cluster
+    solver, which resolves it against the sub-sample outputs ``Y``; instances
+    cannot be forwarded because ``Y`` is a different dataset from the raw
+    database.
+    """
 
     def aggregate(values: np.ndarray, target: int, params: PrivacyParams,
                   beta: float, rng: RngLike,
                   ledger: Optional[PrivacyLedger]) -> Tuple[Optional[np.ndarray],
                                                             Optional[OneClusterResult]]:
         result = one_cluster(values, target, params, beta=beta, config=config,
-                             rng=rng, ledger=ledger)
+                             rng=rng, ledger=ledger, backend=backend)
         if not result.found:
             return None, result
         return np.asarray(result.ball.center, dtype=float), result

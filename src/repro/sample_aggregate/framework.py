@@ -32,9 +32,34 @@ from repro.accounting.ledger import PrivacyLedger
 from repro.accounting.params import PrivacyParams
 from repro.core.config import OneClusterConfig
 from repro.core.types import OneClusterResult
+from repro.neighbors import (
+    BackendLike,
+    NeighborBackend,
+    QueryPlan,
+    resolve_backend,
+)
 from repro.sample_aggregate.aggregators import Aggregator, one_cluster_aggregator
 from repro.utils.rng import RngLike, as_generator, spawn_generators
 from repro.utils.validation import check_integer, check_probability
+
+
+def plan_capable(analysis) -> bool:
+    """Whether an analysis can compile its block computation into query plans.
+
+    A *plan-capable* analysis implements, in addition to ``__call__(block)``:
+
+    * ``compile(plan, view, rows)`` — append the queries computing the
+      analysis of the rows (a global-index multiset into the backend's
+      dataset) to ``plan`` over the identity ``view``; return a token.
+    * ``resolve(results, token, block_size)`` — map the executed plan's
+      results back to the block's value, bitwise identical to
+      ``__call__(database[rows])``.
+
+    :func:`sample_and_aggregate` uses this to route every block through one
+    asynchronous backend plan instead of materialising the sub-sample
+    parent-side.
+    """
+    return hasattr(analysis, "compile") and hasattr(analysis, "resolve")
 
 
 @dataclass(frozen=True)
@@ -91,6 +116,8 @@ def sample_and_aggregate(database, analysis: Callable[[np.ndarray], np.ndarray],
                          subsample_fraction: float = 1.0 / 9.0,
                          config: Optional[OneClusterConfig] = None,
                          collect_diagnostics: bool = False,
+                         backend: BackendLike = None,
+                         backend_options: Optional[dict] = None,
                          rng: RngLike = None,
                          ledger: Optional[PrivacyLedger] = None) -> StablePointResult:
     """Privately estimate a stable point of ``analysis`` on ``database``.
@@ -127,6 +154,25 @@ def sample_and_aggregate(database, analysis: Callable[[np.ndarray], np.ndarray],
     collect_diagnostics:
         When True, the (non-private) sub-sample outputs ``Y`` are attached to
         the result for inspection in experiments.
+    backend:
+        Optional neighbor backend for the block evaluations.  When the
+        analysis is :func:`plan_capable` and the database is a 2-d float
+        array, every block compiles into its own :class:`QueryPlan` over the
+        resolved backend and *all plans are submitted up-front* — on a
+        sharded/distributed backend the blocks are embarrassingly parallel,
+        so every worker stays busy while the parent merely merges — and the
+        block values (hence the release) are bitwise identical to the
+        parent-side path.  Accepts anything
+        :func:`~repro.neighbors.resolve_backend` does; a long-lived
+        :class:`~repro.neighbors.NeighborBackend` instance built over
+        ``database`` is reused without re-indexing, which is how
+        :class:`~repro.experiments.harness.PipelinedRuns` amortises one
+        backend across repeated trials.  Backend *names/classes* are also
+        forwarded to the default 1-cluster aggregator.  Ignored (with the
+        historical serial path) when the analysis is not plan-capable.
+    backend_options:
+        Construction options forwarded to :func:`resolve_backend` (rejected
+        for instances).
     rng, ledger:
         As elsewhere.
 
@@ -154,18 +200,64 @@ def sample_and_aggregate(database, analysis: Callable[[np.ndarray], np.ndarray],
             f"cannot form even one block of size {block_size}"
         )
     indices = generator.integers(0, n, size=num_blocks * block_size)
-    subsample = database[indices]
 
-    outputs = []
-    for block_index in range(num_blocks):
-        block = subsample[block_index * block_size:(block_index + 1) * block_size]
-        value = np.atleast_1d(np.asarray(analysis(block), dtype=float))
-        outputs.append(value)
+    use_plans = (backend is not None and plan_capable(analysis)
+                 and database.ndim == 2)
+    engine = None
+    owns_engine = False
+    if use_plans:
+        engine = resolve_backend(database, backend, backend_options)
+        owns_engine = not isinstance(backend, NeighborBackend)
+    elif backend_options is not None and backend is None:
+        raise ValueError("backend_options requires a backend")
+
+    try:
+        if use_plans:
+            # Each block is one independent plan; submitting them all before
+            # resolving any keeps a sharded/distributed backend's workers
+            # saturated.  Results are collected in block order, and every
+            # plan's merge is shard-order deterministic, so the values — and
+            # the aggregation below — match the serial path bitwise.
+            view = engine.view()
+            futures = []
+            for block_index in range(num_blocks):
+                rows = indices[block_index * block_size:
+                               (block_index + 1) * block_size]
+                plan = QueryPlan()
+                token = analysis.compile(plan, view, rows)
+                futures.append((engine.submit(plan), token))
+            outputs = [
+                np.atleast_1d(np.asarray(
+                    analysis.resolve(future.result(), token, block_size),
+                    dtype=float,
+                ))
+                for future, token in futures
+            ]
+        else:
+            subsample = database[indices]
+            outputs = []
+            for block_index in range(num_blocks):
+                block = subsample[block_index * block_size:
+                                  (block_index + 1) * block_size]
+                value = np.atleast_1d(np.asarray(analysis(block), dtype=float))
+                outputs.append(value)
+    finally:
+        if owns_engine and engine is not None:
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
     aggregate_values = np.vstack(outputs)
 
     target = max(1, int(math.floor(alpha * num_blocks / 2.0)))
     if aggregator is None:
-        aggregator = one_cluster_aggregator(config=config)
+        # Backend names/classes also accelerate the aggregation step (the
+        # solver resolves its own backend over Y); instances are bound to the
+        # raw database and cannot transfer.
+        aggregator_backend = (backend if backend is not None
+                              and not isinstance(backend, NeighborBackend)
+                              else None)
+        aggregator = one_cluster_aggregator(config=config,
+                                            backend=aggregator_backend)
     point, cluster_result = aggregator(aggregate_values, target, params, beta,
                                        aggregate_rng, ledger)
 
@@ -188,4 +280,9 @@ def sample_and_aggregate(database, analysis: Callable[[np.ndarray], np.ndarray],
     )
 
 
-__all__ = ["StablePointResult", "sample_and_aggregate", "sa_minimum_database_size"]
+__all__ = [
+    "StablePointResult",
+    "plan_capable",
+    "sample_and_aggregate",
+    "sa_minimum_database_size",
+]
